@@ -1,0 +1,841 @@
+(* Bench harness: regenerates every table and figure of the evaluation
+   (see DESIGN.md section 3 and EXPERIMENTS.md).
+
+     dune exec bench/main.exe            run everything
+     dune exec bench/main.exe T3 F1      run selected experiments
+     CRT_BENCH_FAST=1 dune exec ...      reduced sizes (CI smoke)
+
+   The paper (SPAA'06) is theory-only; each experiment here validates one
+   of its quantitative claims, with expected *shapes* stated in
+   EXPERIMENTS.md. *)
+
+module Rng = Cr_util.Rng
+module Stats = Cr_util.Stats
+module Bits = Cr_util.Bits
+module T = Cr_util.Ascii_table
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Ball = Cr_graph.Ball
+module Dijkstra = Cr_graph.Dijkstra
+module Generators = Cr_graph.Generators
+module Tree = Cr_tree.Tree
+module Ni = Cr_tree.Ni_tree_routing
+module Cover = Cr_cover.Sparse_cover
+module Landmarks = Cr_landmark.Landmarks
+open Compact_routing
+
+let fast = Sys.getenv_opt "CRT_BENCH_FAST" <> None
+
+let scale n = if fast then max 32 (n / 4) else n
+
+let header title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n%!"
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let agm ?(paper = false) ~k ?(seed = 1) apsp =
+  let params = if paper then Params.paper ~k ~seed () else Params.scaled ~k ~seed () in
+  Agm06.build ~params apsp
+
+(* ------------------------------------------------------------------ *)
+(* T1: stretch and space vs k — the headline trade-off (Theorem 1)     *)
+
+let t1 () =
+  header "T1: stretch & space vs k — AGM06 (O(k)) vs ABLP-style (exp worst case)";
+  let n = scale 512 in
+  let g =
+    Experiment.make_graph_with_aspect ~seed:11 ~target_aspect:(2.0 ** 12.0)
+      (Experiment.Geometric { n; radius = 0.10 })
+  in
+  let apsp = Apsp.compute g in
+  let pairs = Experiment.default_pairs ~seed:12 apsp ~count:(scale 2000) in
+  let table =
+    T.create
+      ~title:
+        (Printf.sprintf "weighted geometric n=%d, %d pairs (scaled constants)" n
+           (Array.length pairs))
+      [
+        ("k", T.Right); ("scheme", T.Left); ("stretch mean", T.Right); ("p99", T.Right);
+        ("max", T.Right); ("bits/node mean", T.Right); ("bits/node max", T.Right);
+      ]
+  in
+  List.iter
+    (fun k ->
+      let schemes =
+        [ Agm06.scheme (agm ~k apsp); Baseline_exp.build ~k apsp ]
+      in
+      List.iter
+        (fun (r : Experiment.row) ->
+          T.add_row table
+            [
+              string_of_int k; r.Experiment.scheme; T.fmt_float r.Experiment.stretch_mean;
+              T.fmt_float r.Experiment.stretch_p99; T.fmt_float r.Experiment.stretch_max;
+              Printf.sprintf "%.0f" r.Experiment.bits_mean; string_of_int r.Experiment.bits_max;
+            ])
+        (Experiment.compare_schemes apsp schemes ~pairs);
+      T.add_sep table)
+    [ 1; 2; 3; 4; 5 ];
+  T.print table
+
+(* T1b: worst-case guarantee on the adversarial multi-scale instance *)
+
+let t1b () =
+  header "T1b: worst-case stretch on the adversarial scale-chain (paper constants)";
+  let table =
+    T.create
+      ~title:"pairs sampled across adjacent islands; AGM06 uses the paper's constants"
+      [
+        ("k", T.Right); ("n", T.Right); ("scheme", T.Left); ("stretch mean", T.Right);
+        ("p99", T.Right); ("max", T.Right);
+      ]
+  in
+  List.iter
+    (fun k ->
+      let sigma = 4 in
+      let rng = Rng.create 21 in
+      let g = Generators.scale_chain rng ~sigma ~levels:k ~spacing:8.0 in
+      let g = Graph.normalize (Graph.relabel rng g) in
+      let apsp = Apsp.compute g in
+      let islands = Generators.scale_chain_islands ~sigma ~levels:k () in
+      (* pairs across adjacent small islands: close in distance, far from
+         any vicinity *)
+      let pairs = ref [] in
+      let rng2 = Rng.create 22 in
+      let upto = min (Array.length islands - 1) 3 in
+      for _ = 1 to 300 do
+        let j = Rng.int rng2 upto in
+        let s0, sz0 = islands.(j) and s1, sz1 = islands.(j + 1) in
+        let s = s0 + Rng.int rng2 sz0 and d = s1 + Rng.int rng2 sz1 in
+        if s <> d then pairs := (s, d) :: !pairs
+      done;
+      let pairs = Array.of_list !pairs in
+      let schemes = [ Agm06.scheme (agm ~paper:true ~k apsp); Baseline_exp.build ~k apsp ] in
+      List.iter
+        (fun (r : Experiment.row) ->
+          T.add_row table
+            [
+              string_of_int k; string_of_int (Graph.n g); r.Experiment.scheme;
+              T.fmt_float r.Experiment.stretch_mean; T.fmt_float r.Experiment.stretch_p99;
+              T.fmt_float r.Experiment.stretch_max;
+            ])
+        (Experiment.compare_schemes apsp schemes ~pairs);
+      T.add_sep table)
+    (if fast then [ 2; 3 ] else [ 2; 3; 4; 5 ]);
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* T2: per-node table bits vs n (space bound of Theorem 1)             *)
+
+let t2 () =
+  header "T2: per-node table size vs n (shape: ~n^{2/k} x polylog, scaled constants)";
+  let table =
+    T.create
+      [
+        ("n", T.Right); ("k", T.Right); ("bits/node mean", T.Right); ("bits/node max", T.Right);
+        ("mean growth", T.Right); ("n^{2/k} growth", T.Right); ("build s", T.Right);
+      ]
+  in
+  List.iter
+    (fun k ->
+      let last = ref None in
+      List.iter
+        (fun n ->
+          let g = Experiment.make_graph ~seed:31 (Experiment.Erdos_renyi { n; avg_degree = 4.0 }) in
+          let apsp = Apsp.compute g in
+          let a, dt = time_it (fun () -> agm ~k apsp) in
+          let st = (Agm06.scheme a).Scheme.storage in
+          let mean = Storage.mean_node_bits st in
+          let growth =
+            match !last with
+            | Some (n0, m0) ->
+                Printf.sprintf "%.2fx | %.2fx"
+                  (mean /. m0)
+                  ((float_of_int n /. float_of_int n0) ** (2.0 /. float_of_int k))
+            | None -> "-"
+          in
+          let parts = String.split_on_char '|' growth in
+          T.add_row table
+            [
+              string_of_int n; string_of_int k; Printf.sprintf "%.0f" mean;
+              string_of_int (Storage.max_node_bits st);
+              String.trim (List.nth parts 0);
+              (if List.length parts > 1 then String.trim (List.nth parts 1) else "-");
+              Printf.sprintf "%.1f" dt;
+            ];
+          last := Some (n, mean))
+        (if fast then [ 64; 128; 256 ] else [ 128; 256; 512; 1024 ]);
+      T.add_sep table)
+    [ 2; 3 ];
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* T3: scale-freeness — table size vs aspect ratio Δ                  *)
+
+let t3 () =
+  header "T3: scale-freeness — bits/node vs log2(Δ) at fixed n";
+  let n = scale 96 in
+  let k = 3 in
+  let table =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "exponentially-weighted line, n=%d, k=%d (structure at every scale, §1.3)" n k)
+      [
+        ("log2 Δ", T.Right); ("AP levels", T.Right); ("AP bits/node", T.Right);
+        ("AGM06 bits/node", T.Right); ("AP stretch", T.Right); ("AGM06 stretch", T.Right);
+      ]
+  in
+  List.iter
+    (fun base ->
+      let rng = Rng.create 41 in
+      let g = Graph.normalize (Graph.relabel rng (Generators.exponential_line ~n ~base)) in
+      let apsp = Apsp.compute g in
+      let pairs = Experiment.default_pairs ~seed:42 apsp ~count:(scale 400) in
+      let ap = Baseline_ap.build ~k apsp in
+      let ag = Agm06.scheme (agm ~k apsp) in
+      let rap = Experiment.run_scheme apsp ap ~pairs in
+      let ragm = Experiment.run_scheme apsp ag ~pairs in
+      T.add_row table
+        [
+          Printf.sprintf "%.0f" (Float.log (Apsp.aspect_ratio apsp) /. Float.log 2.0);
+          string_of_int (Baseline_ap.levels_built ap);
+          Printf.sprintf "%.0f" rap.Experiment.bits_mean;
+          Printf.sprintf "%.0f" ragm.Experiment.bits_mean;
+          T.fmt_float rap.Experiment.stretch_mean;
+          T.fmt_float ragm.Experiment.stretch_mean;
+        ])
+    [ 1.1; 1.3; 1.6; 2.0; 3.0; 5.0; 9.0 ];
+  T.print table;
+  Printf.printf
+    "expected shape: AP column grows ~linearly with log Δ; AGM06 column flat.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T4: Lemma 4 — name-independent error-reporting tree routing         *)
+
+let t4 () =
+  header "T4: Lemma 4 tree routing — stretch <= 2k-1, bounded-search semantics";
+  let table =
+    T.create
+      [
+        ("tree m", T.Right); ("k", T.Right); ("worst stretch", T.Right); ("bound 2k-1", T.Right);
+        ("bits/node mean", T.Right); ("j=1 hit rate", T.Right); ("neg cost ok", T.Right);
+      ]
+  in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun k ->
+          let rng = Rng.create (m + k) in
+          let g = Graph.relabel rng (Generators.random_tree rng ~n:m) in
+          let tree = Tree.spanning g 0 in
+          let ni = Ni.build ~k ~n_global:m tree in
+          let worst = ref 0.0 in
+          let j1_hits = ref 0 in
+          let bits = ref 0 in
+          Array.iter
+            (fun v ->
+              let ident = Graph.name_of g v in
+              let r = Ni.search ni ~bound:k ident in
+              (match r.Ni.outcome with
+              | Ni.Found u when u = v -> ()
+              | _ -> failwith "T4: delivery failure");
+              if v <> Tree.root tree then begin
+                let cost, _ = Simulator.walk_cost g r.Ni.walk in
+                let s = cost /. Tree.depth tree v in
+                if s > !worst then worst := s
+              end;
+              (match (Ni.search ni ~bound:1 ident).Ni.outcome with
+              | Ni.Found _ -> incr j1_hits
+              | Ni.Not_found_reported -> ());
+              bits := !bits + Ni.node_storage_bits ni v)
+            (Tree.nodes tree);
+          (* negative response cost bound for an absent identifier *)
+          let neg_ok =
+            let r = Ni.search ni ~bound:k 987_654_321 in
+            let cost, _ = Simulator.walk_cost g r.Ni.walk in
+            let max_depth = Tree.radius tree in
+            r.Ni.outcome = Ni.Not_found_reported
+            && cost <= (float_of_int (max 1 ((2 * k) - 2)) *. max_depth) +. 1e-6
+          in
+          T.add_row table
+            [
+              string_of_int m; string_of_int k; T.fmt_float !worst;
+              string_of_int ((2 * k) - 1);
+              Printf.sprintf "%.0f" (float_of_int !bits /. float_of_int m);
+              Printf.sprintf "%.2f" (float_of_int !j1_hits /. float_of_int m);
+              string_of_bool neg_ok;
+            ])
+        [ 2; 3; 4 ];
+      T.add_sep table)
+    (if fast then [ 64; 256 ] else [ 64; 256; 1024 ]);
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* T5: Lemma 6 — sparse cover properties                               *)
+
+let t5 () =
+  header "T5: Lemma 6 sparse covers — cover / sparsity / radius / edge bounds";
+  let table =
+    T.create
+      [
+        ("graph", T.Left); ("k", T.Right); ("rho", T.Right); ("clusters", T.Right);
+        ("cover", T.Right); ("overlap", T.Right); ("bound 2k*n^1/k", T.Right);
+        ("radius", T.Right); ("paper (2k-1)rho", T.Right); ("ours (2k+1)rho", T.Right); ("maxE", T.Right); ("bound 2rho", T.Right);
+      ]
+  in
+  let workloads =
+    [
+      ("er", Experiment.make_graph ~seed:51 (Experiment.Erdos_renyi { n = scale 256; avg_degree = 4.0 }));
+      ("geo", Experiment.make_graph ~seed:52 (Experiment.Geometric { n = scale 200; radius = 0.18 }));
+      ("grid", Experiment.make_graph ~seed:53 (Experiment.Grid { rows = 14; cols = 14 }));
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      List.iter
+        (fun k ->
+          List.iter
+            (fun rho ->
+              let cover = Cover.build ~k ~rho g in
+              let n = Graph.n g in
+              let kappa = Bits.ceil_pow (float_of_int n) (1.0 /. float_of_int k) in
+              T.add_row table
+                [
+                  name; string_of_int k; T.fmt_float rho;
+                  string_of_int (Array.length (Cover.clusters cover));
+                  string_of_bool (Cover.check_cover cover);
+                  string_of_int (Cover.max_overlap cover);
+                  string_of_int (2 * k * kappa);
+                  T.fmt_float (Cover.max_radius cover);
+                  T.fmt_float (float_of_int ((2 * k) - 1) *. rho);
+                  T.fmt_float (float_of_int ((2 * k) + 1) *. rho);
+                  T.fmt_float (Cover.max_tree_edge cover);
+                  T.fmt_float (2.0 *. rho);
+                ])
+            [ 2.0; 6.0 ])
+        [ 2; 3 ];
+      T.add_sep table)
+    workloads;
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* T6: Claims 1 and 2 — landmark hierarchy guarantees                  *)
+
+let t6 () =
+  header "T6: Claims 1-2 — landmark hit rates on qualifying balls";
+  let n = scale 1024 in
+  let g = Experiment.make_graph ~seed:61 (Experiment.Erdos_renyi { n; avg_degree = 5.0 }) in
+  let apsp = Apsp.compute g in
+  let table =
+    T.create
+      ~title:(Printf.sprintf "erdos-renyi n=%d; balls B(u, 2^i) over 128 sampled u" n)
+      [
+        ("k", T.Right); ("level j", T.Right); ("|C_j|", T.Right); ("claim1 checked", T.Right);
+        ("claim1 ok", T.Right); ("claim2 checked", T.Right); ("claim2 ok", T.Right);
+      ]
+  in
+  List.iter
+    (fun k ->
+      let lm = Landmarks.build ~seed:62 ~n ~k in
+      for j = 0 to k - 1 do
+        let c1_checked = ref 0 and c1_ok = ref 0 and c2_checked = ref 0 and c2_ok = ref 0 in
+        for idx = 0 to 127 do
+          let u = idx * (n / 128) in
+          let ball = Apsp.ball apsp u in
+          for i = 0 to 10 do
+            let members = Ball.ball ball (2.0 ** float_of_int i) in
+            if float_of_int (Array.length members) >= Landmarks.claim1_threshold lm j then begin
+              incr c1_checked;
+              if Landmarks.check_claim1 lm members j then incr c1_ok
+            end;
+            if float_of_int (Array.length members) < Landmarks.claim2_size_limit lm j then begin
+              incr c2_checked;
+              if Landmarks.check_claim2 lm members j then incr c2_ok
+            end
+          done
+        done;
+        T.add_row table
+          [
+            string_of_int k; string_of_int j; string_of_int (Landmarks.level_size lm j);
+            string_of_int !c1_checked; string_of_int !c1_ok; string_of_int !c2_checked;
+            string_of_int !c2_ok;
+          ]
+      done;
+      T.add_sep table)
+    [ 2; 3; 4 ];
+  T.print table;
+  Printf.printf "expected: ok counts equal checked counts (the claims hold w.h.p.).\n"
+
+(* ------------------------------------------------------------------ *)
+(* F1: stretch distribution across schemes (CDF table)                 *)
+
+let f1 () =
+  header "F1: stretch CDF across schemes";
+  let n = scale 400 in
+  let g = Experiment.make_graph ~seed:71 (Experiment.Geometric { n; radius = 0.12 }) in
+  let apsp = Apsp.compute g in
+  let pairs = Experiment.default_pairs ~seed:72 apsp ~count:(scale 2000) in
+  let schemes =
+    [
+      Baseline_full.build apsp;
+      Agm06.scheme (agm ~k:3 apsp);
+      Baseline_ap.build ~k:3 apsp;
+      Baseline_exp.build ~k:3 apsp;
+      Baseline_tz.build ~k:3 apsp;
+      Baseline_s3.build apsp;
+      Baseline_tree.build apsp;
+    ]
+  in
+  let thresholds = [ 1.0; 1.5; 2.0; 3.0; 5.0; 8.0; 12.0; 20.0 ] in
+  let table =
+    T.create
+      ~title:(Printf.sprintf "geometric n=%d, %d pairs: fraction of pairs with stretch <= s" n (Array.length pairs))
+      (("scheme", T.Left) :: List.map (fun s -> (Printf.sprintf "<=%.1f" s, T.Right)) thresholds)
+  in
+  List.iter
+    (fun sch ->
+      let agg = Simulator.evaluate apsp sch pairs in
+      let sorted = Array.copy agg.Simulator.stretches in
+      Array.sort compare sorted;
+      T.add_row table
+        (sch.Scheme.name
+        :: List.map (fun s -> Printf.sprintf "%.3f" (Stats.cdf_at sorted s)) thresholds))
+    schemes;
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* F2: decomposition statistics vs n                                   *)
+
+let f2 () =
+  header "F2: decomposition statistics — dense levels, |R(u)|, cover participation";
+  let table =
+    T.create
+      [
+        ("n", T.Right); ("log2 Δ", T.Right); ("mean dense lvls", T.Right); ("max dense lvls", T.Right);
+        ("mean |R(u)|", T.Right); ("max |R(u)|", T.Right); ("populated levels", T.Right);
+      ]
+  in
+  List.iter
+    (fun n ->
+      let g = Experiment.make_graph ~seed:81 (Experiment.Erdos_renyi { n; avg_degree = 4.0 }) in
+      let apsp = Apsp.compute g in
+      let d = Decomposition.build apsp ~k:3 in
+      let dense = Array.init n (fun u -> float_of_int (Decomposition.dense_level_count d u)) in
+      let rsz = Array.init n (fun u -> float_of_int (List.length (Decomposition.extended_range_set d u))) in
+      T.add_row table
+        [
+          string_of_int n; string_of_int (Decomposition.log_delta d);
+          T.fmt_float (Stats.mean dense);
+          Printf.sprintf "%.0f" (Array.fold_left max 0.0 dense);
+          T.fmt_float (Stats.mean rsz);
+          Printf.sprintf "%.0f" (Array.fold_left max 0.0 rsz);
+          string_of_int (List.length (Decomposition.needed_levels d));
+        ])
+    (if fast then [ 64; 128; 256 ] else [ 128; 256; 512; 1024 ]);
+  T.print table;
+  Printf.printf "expected: dense levels <= k and |R(u)| = O(k), independent of n and Δ.\n"
+
+(* ------------------------------------------------------------------ *)
+(* F3: locality — stretch by true-distance decile                      *)
+
+let f3 () =
+  header "F3: locality — AGM06 stretch by distance decile (O(k d) incl. negative responses)";
+  let n = scale 400 in
+  let g = Experiment.make_graph ~seed:91 (Experiment.Geometric { n; radius = 0.12 }) in
+  let apsp = Apsp.compute g in
+  let sch = Agm06.scheme (agm ~k:3 apsp) in
+  let pairs = Experiment.default_pairs ~seed:92 apsp ~count:(scale 3000) in
+  let samples =
+    Array.map
+      (fun (s, d) ->
+        let m = Simulator.measure apsp sch s d in
+        (Apsp.distance apsp s d, m.Simulator.stretch))
+      pairs
+  in
+  Array.sort compare samples;
+  let deciles = 10 in
+  let per = Array.length samples / deciles in
+  let table =
+    T.create
+      ~title:(Printf.sprintf "geometric n=%d, k=3, %d pairs" n (Array.length samples))
+      [
+        ("decile", T.Right); ("distance range", T.Left); ("stretch mean", T.Right);
+        ("stretch p90", T.Right); ("stretch max", T.Right);
+      ]
+  in
+  for dec = 0 to deciles - 1 do
+    let lo = dec * per in
+    let hi = if dec = deciles - 1 then Array.length samples else lo + per in
+    let slice = Array.sub samples lo (hi - lo) in
+    let stretches = Array.map snd slice in
+    let st = Stats.summarize stretches in
+    T.add_row table
+      [
+        string_of_int (dec + 1);
+        Printf.sprintf "%.1f - %.1f" (fst slice.(0)) (fst slice.(Array.length slice - 1));
+        T.fmt_float st.Stats.mean; T.fmt_float st.Stats.p90; T.fmt_float st.Stats.max;
+      ]
+  done;
+  T.print table;
+  Printf.printf "expected: stretch roughly flat across deciles (cost scales with d(u,v)).\n"
+
+(* ------------------------------------------------------------------ *)
+(* A1: ablation — sparse-only / dense-only / full decomposition        *)
+
+let a1 () =
+  header "A1: ablation — why the hybrid sparse/dense decomposition matters";
+  let n = scale 256 in
+  let workloads =
+    [
+      ("geometric (mixed levels)",
+       Experiment.make_graph ~seed:101 (Experiment.Geometric { n; radius = 0.15 }));
+      ("exponential line (sparse-heavy)",
+       (let rng = Rng.create 103 in
+        Graph.normalize (Graph.relabel rng (Generators.exponential_line ~n:(scale 96) ~base:2.0))));
+    ]
+  in
+  let table =
+    T.create
+      ~title:"k=3; fallback uses = deliveries that needed the delivery-guarantee phase"
+      [
+        ("workload", T.Left); ("variant", T.Left); ("stretch mean", T.Right); ("p99", T.Right);
+        ("max", T.Right); ("bits/node mean", T.Right); ("fallback uses", T.Right);
+      ]
+  in
+  List.iter
+    (fun (wname, g) ->
+      let apsp = Apsp.compute g in
+      let pairs = Experiment.default_pairs ~seed:102 apsp ~count:(scale 1000) in
+      List.iter
+        (fun (name, mode) ->
+          let a = Agm06.build ~params:(Params.scaled ~k:3 ()) ~mode apsp in
+          let r = Experiment.run_scheme apsp (Agm06.scheme a) ~pairs in
+          T.add_row table
+            [
+              wname; name; T.fmt_float r.Experiment.stretch_mean;
+              T.fmt_float r.Experiment.stretch_p99; T.fmt_float r.Experiment.stretch_max;
+              Printf.sprintf "%.0f" r.Experiment.bits_mean;
+              string_of_int (Agm06.stats a).Agm06.fallback_resolved;
+            ])
+        [ ("full (paper)", Agm06.Full); ("sparse-only", Agm06.Sparse_only);
+          ("dense-only", Agm06.Dense_only) ];
+      T.add_sep table)
+    workloads;
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* A2: ablation — fallback usage, scaled vs paper constants            *)
+
+let a2 () =
+  header "A2: ablation — constants presets: delivery phases and fallback rate";
+  let n = scale 256 in
+  let table =
+    T.create
+      [
+        ("workload", T.Left); ("preset", T.Left); ("stretch mean", T.Right); ("max", T.Right);
+        ("bits/node mean", T.Right); ("phase histogram", T.Left); ("fallback", T.Right);
+      ]
+  in
+  List.iter
+    (fun (wname, w) ->
+      let g = Experiment.make_graph ~seed:111 w in
+      let apsp = Apsp.compute g in
+      let pairs = Experiment.default_pairs ~seed:112 apsp ~count:(scale 800) in
+      List.iter
+        (fun (pname, paper) ->
+          let a = agm ~paper ~k:3 apsp in
+          let r = Experiment.run_scheme apsp (Agm06.scheme a) ~pairs in
+          let st = Agm06.stats a in
+          T.add_row table
+            [
+              wname; pname; T.fmt_float r.Experiment.stretch_mean;
+              T.fmt_float r.Experiment.stretch_max; Printf.sprintf "%.0f" r.Experiment.bits_mean;
+              String.concat " " (Array.to_list (Array.map string_of_int st.Agm06.phase_found));
+              string_of_int st.Agm06.fallback_resolved;
+            ])
+        [ ("scaled", false); ("paper", true) ];
+      T.add_sep table)
+    [
+      ("erdos-renyi", Experiment.Erdos_renyi { n; avg_degree = 4.0 });
+      ("geometric", Experiment.Geometric { n; radius = 0.15 });
+    ];
+  T.print table;
+  Printf.printf
+    "expected: paper constants resolve every route in early phases (no fallback)\n\
+     at a higher space cost; scaled constants trade occasional fallback hops\n\
+     for the visible n^{2/k} space shape.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T7: the whole trade-off frontier on one workload                    *)
+
+let t7 () =
+  header "T7: the space-stretch frontier — every scheme on one workload";
+  let n = scale 400 in
+  let g = Experiment.make_graph ~seed:131 (Experiment.Geometric { n; radius = 0.12 }) in
+  let apsp = Apsp.compute g in
+  let pairs = Experiment.default_pairs ~seed:132 apsp ~count:(scale 1500) in
+  let schemes =
+    [
+      Baseline_full.build apsp;
+      Baseline_tz.build ~k:2 apsp;
+      Baseline_tz.build ~k:3 apsp;
+      Baseline_s3.build apsp;
+      Baseline_exp.build ~k:3 apsp;
+      Agm06.scheme (agm ~k:2 apsp);
+      Agm06.scheme (agm ~k:3 apsp);
+      Agm06.scheme (agm ~k:4 apsp);
+      Baseline_ap.build ~k:3 apsp;
+      Baseline_tree.build apsp;
+    ]
+  in
+  let table =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "geometric n=%d, %d pairs; labeled schemes marked (L) choose their own addresses" n
+           (Array.length pairs))
+      [
+        ("scheme", T.Left); ("model", T.Left); ("stretch mean", T.Right); ("p99", T.Right);
+        ("max", T.Right); ("bits/node mean", T.Right); ("header bits", T.Right);
+      ]
+  in
+  let model name =
+    if String.length name >= 2 && String.sub name 0 2 = "tz" then "labeled (L)"
+    else "name-independent"
+  in
+  List.iter
+    (fun (r : Experiment.row) ->
+      T.add_row table
+        [
+          r.Experiment.scheme; model r.Experiment.scheme; T.fmt_float r.Experiment.stretch_mean;
+          T.fmt_float r.Experiment.stretch_p99; T.fmt_float r.Experiment.stretch_max;
+          Printf.sprintf "%.0f" r.Experiment.bits_mean;
+          string_of_int r.Experiment.header_bits;
+        ])
+    (Experiment.compare_schemes apsp schemes ~pairs);
+  T.print table
+
+(* ------------------------------------------------------------------ *)
+(* T8: the directed extension (paper §4)                               *)
+
+let t8 () =
+  header "T8: directed extension — O(k) vs the round-trip metric";
+  let module D = Cr_digraph.Digraph in
+  let module Dgen = Cr_digraph.Dgen in
+  let module Drt = Cr_digraph.Rt in
+  let module Dscheme = Cr_digraph.Dscheme in
+  let module Dsim = Cr_digraph.Dsim in
+  let n = scale 160 in
+  let table =
+    T.create
+      ~title:"strongly connected digraphs; stretch vs one-way and round-trip distances"
+      [
+        ("workload", T.Left); ("k", T.Right); ("delivered", T.Right);
+        ("1-way stretch mean/p99", T.Right); ("rt stretch mean/p99", T.Right);
+        ("bits/node mean", T.Right); ("coverage", T.Right); ("fallback", T.Right);
+      ]
+  in
+  let workloads =
+    [
+      ("directed-ring", Dgen.directed_ring (Rng.create 141) ~n ~chords:(n / 2));
+      ("directed-er", Dgen.directed_erdos_renyi (Rng.create 142) ~n ~avg_out_degree:3.0);
+      ( "asymmetric-geo",
+        Dgen.asymmetric_of_graph (Rng.create 143)
+          (Generators.random_geometric (Rng.create 144) ~n ~radius:0.16)
+          ~skew:4.0 );
+    ]
+  in
+  List.iter
+    (fun (wname, g) ->
+      let g = D.normalize (D.relabel (Rng.create 145) g) in
+      let rt = Drt.compute g in
+      List.iter
+        (fun k ->
+          let sch = Dscheme.build ~k rt in
+          let rng = Rng.create 146 in
+          let nn = D.n g in
+          let ones = ref [] and rts = ref [] and delivered = ref 0 and total = ref 0 in
+          for _ = 1 to scale 600 do
+            let s = Rng.int rng nn and d = Rng.int rng nn in
+            if s <> d then begin
+              incr total;
+              let m = Dsim.measure rt sch s d in
+              if m.Dsim.delivered then begin
+                incr delivered;
+                ones := m.Dsim.stretch :: !ones;
+                rts := m.Dsim.rt_stretch :: !rts
+              end
+            end
+          done;
+          let s1 = Stats.summarize (Array.of_list !ones) in
+          let s2 = Stats.summarize (Array.of_list !rts) in
+          T.add_row table
+            [
+              wname; string_of_int k;
+              Printf.sprintf "%d/%d" !delivered !total;
+              Printf.sprintf "%.2f / %.2f" s1.Stats.mean s1.Stats.p99;
+              Printf.sprintf "%.2f / %.2f" s2.Stats.mean s2.Stats.p99;
+              Printf.sprintf "%.0f" (Dscheme.mean_storage_bits sch);
+              Printf.sprintf "%.2f" (Dscheme.phase_coverage sch);
+              string_of_int (Dscheme.stats_fallback sch);
+            ])
+        [ 2; 3 ];
+      T.add_sep table)
+    workloads;
+  T.print table;
+  Printf.printf
+    "expected: rt-stretch small and flat (the O(k) guarantee transfers to dRT);
+     one-way stretch additionally pays the instance's asymmetry.
+"
+
+(* ------------------------------------------------------------------ *)
+(* T9: node joins — the price of labels (the introduction's motivation) *)
+
+let t9 () =
+  header "T9: node join churn — labeled addresses vs name independence";
+  let n = scale 256 in
+  let k = 3 in
+  let table =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "one node joins an n=%d network (3 links); how many ADDRESSES change?" n)
+      [
+        ("trial", T.Right); ("tz labels changed", T.Right); ("fraction", T.Right);
+        ("agm06 identifiers changed", T.Right);
+      ]
+  in
+  let total_changed = ref 0 in
+  let trials = 5 in
+  for trial = 1 to trials do
+    let rng = Rng.create (trial * 1000) in
+    let g0 = Generators.erdos_renyi rng ~n ~avg_degree:4.0 in
+    let g0 = Graph.normalize (Graph.relabel rng g0) in
+    (* the joined network: same nodes and names, one extra node *)
+    let fresh_name = 1 + Array.fold_left (fun acc v -> max acc v) 0 (Array.init n (Graph.name_of g0)) in
+    let links =
+      List.init 3 (fun i -> (Rng.int rng n, n, 1.0 +. float_of_int i *. 0.1))
+    in
+    let g1 =
+      Graph.create
+        ~names:(Array.append (Array.init n (Graph.name_of g0)) [| fresh_name |])
+        ~n:(n + 1)
+        (Graph.edges g0 @ links)
+    in
+    let a0 = Apsp.compute g0 and a1 = Apsp.compute g1 in
+    let l0 = Baseline_tz.label_vectors ~k ~seed:7 a0 in
+    let l1 = Baseline_tz.label_vectors ~k ~seed:7 a1 in
+    let changed = ref 0 in
+    for v = 0 to n - 1 do
+      if l0.(v) <> l1.(v) then incr changed
+    done;
+    total_changed := !total_changed + !changed;
+    (* the name-independent scheme addresses nodes by their identifiers,
+       which do not change by construction *)
+    T.add_row table
+      [
+        string_of_int trial; string_of_int !changed;
+        Printf.sprintf "%.2f" (float_of_int !changed /. float_of_int n); "0";
+      ]
+  done;
+  T.print table;
+  Printf.printf
+    "mean labeled-address churn per join: %.1f%% of the network — every\n\
+     sender holding a stale label must be updated.  A name-independent\n\
+     scheme's addresses are the nodes' own identifiers: churn is zero by\n\
+     construction (only local tables adapt).  This is the introduction's\n\
+     argument for the name-independent model, quantified.\n"
+    (100.0 *. float_of_int !total_changed /. float_of_int (trials * n))
+
+(* ------------------------------------------------------------------ *)
+(* F4: bechamel microbenchmarks — construction and per-route costs     *)
+
+let f4 () =
+  header "F4: microbenchmarks (bechamel) — construction & routing throughput";
+  let n = scale 256 in
+  let g = Experiment.make_graph ~seed:121 (Experiment.Erdos_renyi { n; avg_degree = 4.0 }) in
+  let apsp = Apsp.compute g in
+  let a = agm ~k:3 apsp in
+  let sch = Agm06.scheme a in
+  let full = Baseline_full.build apsp in
+  let rng = Rng.create 7 in
+  let pairs = Simulator.sample_pairs rng apsp ~count:256 in
+  let idx = ref 0 in
+  let next_pair () =
+    let p = pairs.(!idx mod Array.length pairs) in
+    incr idx;
+    p
+  in
+  let open Bechamel in
+  let tests =
+    Test.make_grouped ~name:"compact-routing"
+      [
+        Test.make ~name:"dijkstra-sssp" (Staged.stage (fun () -> ignore (Dijkstra.run g 0)));
+        Test.make ~name:"apsp-sequential" (Staged.stage (fun () -> ignore (Apsp.compute g)));
+        Test.make ~name:"apsp-parallel-4" (Staged.stage (fun () -> ignore (Apsp.compute_parallel ~domains:4 g)));
+        Test.make ~name:"agm06-route" (Staged.stage (fun () ->
+            let s, d = next_pair () in
+            ignore (sch.Scheme.route s d)));
+        Test.make ~name:"full-tables-route" (Staged.stage (fun () ->
+            let s, d = next_pair () in
+            ignore (full.Scheme.route s d)));
+        Test.make ~name:"decomposition-build" (Staged.stage (fun () ->
+            ignore (Decomposition.build apsp ~k:3)));
+        Test.make ~name:"cover-build-rho4" (Staged.stage (fun () ->
+            ignore (Cover.build ~k:3 ~rho:4.0 g)));
+      ]
+  in
+  let benchmark () =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
+    Benchmark.all cfg instances tests
+  in
+  let results =
+    let raw = benchmark () in
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  Hashtbl.iter
+    (fun name ols ->
+      match Bechamel.Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-28s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    results;
+  Printf.printf "(one AGM06 route executes up to k phases of tree searches.)\n"
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("T1", t1); ("T1b", t1b); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5); ("T6", t6);
+    ("T7", t7); ("T8", t8); ("T9", t9); ("F1", f1); ("F2", f2); ("F3", f3); ("A1", a1);
+    ("A2", a2); ("F4", f4);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let to_run =
+    if requested = [] then experiments
+    else
+      List.filter_map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> Some (name, f)
+          | None ->
+              Printf.eprintf "unknown experiment %S (known: %s)\n" name
+                (String.concat ", " (List.map fst experiments));
+              None)
+        requested
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (name, f) ->
+      let (), dt = time_it f in
+      Printf.printf "[%s finished in %.1fs]\n%!" name dt)
+    to_run;
+  Printf.printf "\nall experiments done in %.1fs\n" (Unix.gettimeofday () -. t0)

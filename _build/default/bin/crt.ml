@@ -1,0 +1,250 @@
+(* crt — compact-routing toolbox.
+
+   Subcommands:
+     generate    write a synthetic workload graph to a file
+     info        print a graph's basic metrics
+     decompose   show the sparse/dense decomposition of a node
+     covers      build a sparse cover and report its Lemma 6 numbers
+     route       route one message with a chosen scheme, printing the walk
+     eval        compare schemes on sampled pairs (one table)
+*)
+
+module Rng = Cr_util.Rng
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Gio = Cr_graph.Gio
+module Cover = Cr_cover.Sparse_cover
+module T = Cr_util.Ascii_table
+open Compact_routing
+open Cmdliner
+
+(* ---------- shared arguments ---------- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed (constructions are deterministic given the seed).")
+
+let k_arg =
+  Arg.(value & opt int 3 & info [ "k" ] ~docv:"K" ~doc:"Space-stretch trade-off parameter (k >= 1).")
+
+let workload_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "er"; n ] -> Ok (Experiment.Erdos_renyi { n = int_of_string n; avg_degree = 4.0 })
+    | [ "er"; n; d ] ->
+        Ok (Experiment.Erdos_renyi { n = int_of_string n; avg_degree = float_of_string d })
+    | [ "geo"; n ] -> Ok (Experiment.Geometric { n = int_of_string n; radius = 0.15 })
+    | [ "geo"; n; r ] -> Ok (Experiment.Geometric { n = int_of_string n; radius = float_of_string r })
+    | [ "grid"; r; c ] -> Ok (Experiment.Grid { rows = int_of_string r; cols = int_of_string c })
+    | [ "ring"; n; ch ] -> Ok (Experiment.Ring_chords { n = int_of_string n; chords = int_of_string ch })
+    | [ "isp"; core; acc ] ->
+        Ok (Experiment.Isp { core = int_of_string core; access_per_core = int_of_string acc })
+    | [ "tree"; n ] -> Ok (Experiment.Tree_w { n = int_of_string n })
+    | [ "pref"; n; m ] ->
+        Ok (Experiment.Preferential { n = int_of_string n; edges_per_node = int_of_string m })
+    | [ "expline"; n; base ] ->
+        Ok (Experiment.Exp_line { n = int_of_string n; base = float_of_string base })
+    | [ "chain"; sigma; levels ] ->
+        Ok (Experiment.Chain { sigma = int_of_string sigma; levels = int_of_string levels; spacing = 8.0 })
+    | _ -> Error (`Msg (Printf.sprintf "unknown workload %S (try er:256, geo:256:0.15, grid:16:16, ring:256:64, isp:12:20, tree:256, pref:256:2, expline:96:2.0, chain:4:3)" s))
+  in
+  Arg.conv (parse, fun fmt w -> Format.pp_print_string fmt (Experiment.workload_name w))
+
+let workload_arg =
+  Arg.(
+    value
+    & opt workload_conv (Experiment.Erdos_renyi { n = 256; avg_degree = 4.0 })
+    & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+        ~doc:"Synthetic workload: er:N[:DEG], geo:N[:RADIUS], grid:R:C, ring:N:CHORDS, isp:CORE:ACC, tree:N, pref:N:M, expline:N:BASE, chain:SIGMA:LEVELS.")
+
+let graph_file_arg =
+  Arg.(value & opt (some string) None & info [ "g"; "graph" ] ~docv:"FILE" ~doc:"Load the graph from FILE instead of generating a workload.")
+
+let aspect_arg =
+  Arg.(value & opt (some float) None & info [ "aspect" ] ~docv:"A" ~doc:"Stretch edge weights to approach aspect ratio A (power of two recommended).")
+
+let load_graph ~seed ~graph_file ~workload ~aspect =
+  match graph_file with
+  | Some path -> Graph.normalize (Gio.load path)
+  | None -> (
+      match aspect with
+      | None -> Experiment.make_graph ~seed workload
+      | Some a -> Experiment.make_graph_with_aspect ~seed ~target_aspect:a workload)
+
+(* ---------- generate ---------- *)
+
+let generate_cmd =
+  let out = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUT" ~doc:"Output path.") in
+  let run seed workload aspect out =
+    let g = load_graph ~seed ~graph_file:None ~workload ~aspect in
+    Gio.save g out;
+    Printf.printf "wrote %s: n=%d m=%d\n" out (Graph.n g) (Graph.m g)
+  in
+  Cmd.v (Cmd.info "generate" ~doc:"Generate a synthetic workload graph.")
+    Term.(const run $ seed_arg $ workload_arg $ aspect_arg $ out)
+
+(* ---------- info ---------- *)
+
+let info_cmd =
+  let run seed workload graph_file aspect =
+    let g = load_graph ~seed ~graph_file ~workload ~aspect in
+    let apsp = Apsp.compute g in
+    Printf.printf "nodes       %d\nedges       %d\nmax degree  %d\nconnected   %b\ndiameter    %.4g\naspect Δ    %.4g\nmin weight  %.4g\nmax weight  %.4g\n"
+      (Graph.n g) (Graph.m g) (Graph.max_degree g) (Apsp.connected apsp) (Apsp.diameter apsp)
+      (Apsp.aspect_ratio apsp) (Graph.min_weight g) (Graph.max_weight g)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Print basic metrics of a graph.")
+    Term.(const run $ seed_arg $ workload_arg $ graph_file_arg $ aspect_arg)
+
+(* ---------- decompose ---------- *)
+
+let decompose_cmd =
+  let node = Arg.(value & opt int 0 & info [ "node" ] ~docv:"U" ~doc:"Node index to decompose.") in
+  let run seed k workload graph_file aspect u =
+    let g = load_graph ~seed ~graph_file ~workload ~aspect in
+    let apsp = Apsp.compute g in
+    let d = Decomposition.build apsp ~k in
+    Printf.printf "log2 Δ = %d\n" (Decomposition.log_delta d);
+    Printf.printf "node %d: L(u) = {%s}, R(u) = {%s}, dense levels = %d\n" u
+      (String.concat "," (List.map string_of_int (Decomposition.range_set d u)))
+      (String.concat "," (List.map string_of_int (Decomposition.extended_range_set d u)))
+      (Decomposition.dense_level_count d u);
+    for i = 0 to k - 1 do
+      Printf.printf "  level %d: a=%d |A|=%d %s\n" i
+        (Decomposition.range d u i)
+        (Decomposition.neighborhood_size d u i)
+        (if Decomposition.is_dense d u i then "dense" else "sparse")
+    done;
+    Printf.printf "  level %d: a=%d |A|=%d (top)\n" k (Decomposition.range d u k)
+      (Decomposition.neighborhood_size d u k)
+  in
+  Cmd.v (Cmd.info "decompose" ~doc:"Show the sparse/dense decomposition of a node.")
+    Term.(const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ node)
+
+(* ---------- covers ---------- *)
+
+let covers_cmd =
+  let rho = Arg.(value & opt float 2.0 & info [ "rho" ] ~docv:"RHO" ~doc:"Ball radius parameter.") in
+  let run seed k workload graph_file aspect rho =
+    let g = load_graph ~seed ~graph_file ~workload ~aspect in
+    let cover = Cover.build ~k ~rho g in
+    let n = Graph.n g in
+    let kappa = Cr_util.Bits.ceil_pow (float_of_int n) (1.0 /. float_of_int k) in
+    Printf.printf "TC(k=%d, rho=%.2f): %d clusters\n" k rho (Array.length (Cover.clusters cover));
+    Printf.printf "  cover property      %b\n" (Cover.check_cover cover);
+    Printf.printf "  max overlap         %d (paper bound 2k n^{1/k} = %d)\n" (Cover.max_overlap cover) (2 * k * kappa);
+    Printf.printf "  max tree radius     %.3f (bound (2k-1)rho = %.3f)\n" (Cover.max_radius cover)
+      (float_of_int ((2 * k) - 1) *. rho);
+    Printf.printf "  max tree edge       %.3f (bound 2rho = %.3f)\n" (Cover.max_tree_edge cover) (2.0 *. rho)
+  in
+  Cmd.v (Cmd.info "covers" ~doc:"Build a sparse cover and check its Lemma 6 properties.")
+    Term.(const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ rho)
+
+(* ---------- scheme roster ---------- *)
+
+let scheme_names = [ "agm06"; "full"; "tree"; "ap"; "exp"; "tz"; "s3" ]
+
+let build_scheme apsp ~k ~seed = function
+  | "agm06" -> Agm06.scheme (Agm06.build ~params:(Params.scaled ~k ~seed ()) apsp)
+  | "agm06-paper" -> Agm06.scheme (Agm06.build ~params:(Params.paper ~k ~seed ()) apsp)
+  | "full" -> Baseline_full.build apsp
+  | "tree" -> Baseline_tree.build apsp
+  | "ap" -> Baseline_ap.build ~k apsp
+  | "exp" -> Baseline_exp.build ~k apsp
+  | "tz" -> Baseline_tz.build ~k apsp
+  | "s3" -> Baseline_s3.build ~seed apsp
+  | s -> invalid_arg (Printf.sprintf "unknown scheme %S" s)
+
+let scheme_arg =
+  Arg.(value & opt string "agm06" & info [ "scheme" ] ~docv:"S" ~doc:"Scheme: agm06, agm06-paper, full, tree, ap, exp, tz, s3.")
+
+(* ---------- route ---------- *)
+
+let route_cmd =
+  let src = Arg.(value & opt int 0 & info [ "src" ] ~docv:"S" ~doc:"Source node index.") in
+  let dst = Arg.(value & opt int 1 & info [ "dst" ] ~docv:"D" ~doc:"Destination node index.") in
+  let run seed k workload graph_file aspect scheme src dst =
+    let g = load_graph ~seed ~graph_file ~workload ~aspect in
+    let apsp = Apsp.compute g in
+    let sch = build_scheme apsp ~k ~seed scheme in
+    let m = Simulator.measure apsp sch src dst in
+    let r = sch.Scheme.route src dst in
+    Printf.printf "%s: %d -> %d (identifier %d)\n" sch.Scheme.name src dst (Graph.name_of g dst);
+    Printf.printf "delivered %b, cost %.4g, hops %d, shortest %.4g, stretch %.3f\n" m.Simulator.delivered
+      m.Simulator.cost m.Simulator.hops (Apsp.distance apsp src dst) m.Simulator.stretch;
+    if m.Simulator.hops <= 64 then
+      Printf.printf "walk: %s\n" (String.concat " -> " (List.map string_of_int r.Scheme.walk))
+  in
+  Cmd.v (Cmd.info "route" ~doc:"Route one message and print the walk.")
+    Term.(const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ scheme_arg $ src $ dst)
+
+(* ---------- tables ---------- *)
+
+let tables_cmd =
+  let node = Arg.(value & opt int 0 & info [ "node" ] ~docv:"U" ~doc:"Node whose table to dump.") in
+  let run seed k workload graph_file aspect u =
+    let g = load_graph ~seed ~graph_file ~workload ~aspect in
+    let apsp = Apsp.compute_parallel g in
+    let agm = Agm06.build ~params:(Params.scaled ~k ~seed ()) apsp in
+    print_string (Agm06.describe_node agm u)
+  in
+  Cmd.v (Cmd.info "tables" ~doc:"Dump one node's AGM06 routing table.")
+    Term.(const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ node)
+
+(* ---------- eval ---------- *)
+
+let eval_cmd =
+  let pairs_n = Arg.(value & opt int 1000 & info [ "pairs" ] ~docv:"P" ~doc:"Number of sampled source-destination pairs.") in
+  let schemes_arg =
+    Arg.(value & opt (list string) scheme_names & info [ "schemes" ] ~docv:"LIST" ~doc:"Comma-separated schemes to compare.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the rows as CSV to FILE.")
+  in
+  let run seed k workload graph_file aspect schemes pairs_n csv =
+    let g = load_graph ~seed ~graph_file ~workload ~aspect in
+    let apsp = Apsp.compute_parallel g in
+    let pairs = Experiment.default_pairs ~seed:(seed + 1) apsp ~count:pairs_n in
+    let table =
+      T.create
+        ~title:(Printf.sprintf "%s, %d pairs, k=%d" (Experiment.workload_name workload) pairs_n k)
+        [
+          ("scheme", T.Left); ("delivered", T.Right); ("stretch mean", T.Right);
+          ("p99", T.Right); ("max", T.Right); ("bits mean", T.Right); ("bits max", T.Right);
+          ("header", T.Right);
+        ]
+    in
+    let rows =
+      List.map
+        (fun name ->
+          let sch = build_scheme apsp ~k ~seed name in
+          Experiment.run_scheme apsp sch ~pairs)
+        schemes
+    in
+    List.iter
+      (fun (r : Experiment.row) ->
+        T.add_row table
+          [
+            r.Experiment.scheme;
+            Printf.sprintf "%d/%d" r.Experiment.delivered r.Experiment.pairs;
+            T.fmt_float r.Experiment.stretch_mean;
+            T.fmt_float r.Experiment.stretch_p99;
+            T.fmt_float r.Experiment.stretch_max;
+            T.fmt_bits (int_of_float r.Experiment.bits_mean);
+            T.fmt_bits r.Experiment.bits_max;
+            string_of_int r.Experiment.header_bits;
+          ])
+      rows;
+    T.print table;
+    match csv with
+    | Some path ->
+        Experiment.write_csv rows path;
+        Printf.printf "csv written to %s\n" path
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "eval" ~doc:"Compare schemes on sampled pairs.")
+    Term.(const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ schemes_arg $ pairs_n $ csv_arg)
+
+let () =
+  let doc = "compact-routing toolbox: the AGM'06 scale-free name-independent scheme and its comparators" in
+  let main = Cmd.group (Cmd.info "crt" ~doc) [ generate_cmd; info_cmd; decompose_cmd; covers_cmd; route_cmd; eval_cmd; tables_cmd ] in
+  exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/directed_demo.ml: Array Cr_digraph Cr_graph Cr_util List Printf

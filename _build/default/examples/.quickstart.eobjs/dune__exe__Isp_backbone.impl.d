@@ -1,0 +1,1 @@
+examples/isp_backbone.ml: Agm06 Baseline_ap Baseline_exp Baseline_full Baseline_s3 Baseline_tree Baseline_tz Compact_routing Cr_graph Cr_util Experiment List Params Printf

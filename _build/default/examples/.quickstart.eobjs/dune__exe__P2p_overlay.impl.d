@@ -1,0 +1,1 @@
+examples/p2p_overlay.ml: Agm06 Baseline_s3 Baseline_tree Compact_routing Cr_graph Cr_util Experiment List Params Printf Scheme Simulator Storage String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Agm06 Array Compact_routing Cr_graph Cr_util Experiment List Params Printf Scheme Simulator Storage String

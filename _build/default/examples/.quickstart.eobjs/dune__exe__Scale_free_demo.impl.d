@@ -1,0 +1,1 @@
+examples/scale_free_demo.ml: Agm06 Baseline_ap Compact_routing Cr_graph Cr_util Experiment Float List Params Printf

@@ -1,0 +1,74 @@
+(* Peer-to-peer overlay scenario: DHT-style node identifiers.
+
+   The paper's introduction singles out DHTs as a motivation for
+   name-independent routing: node names are dictated by the application
+   (e.g. hashes in [0..n) or binary prefixes), so a routing scheme must
+   find names it did not choose.  This example builds a ring+chords
+   small-world overlay (Chord-like), names nodes by an application-level
+   hash, and routes lookups by those names.
+
+     dune exec examples/p2p_overlay.exe
+*)
+
+module Rng = Cr_util.Rng
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Generators = Cr_graph.Generators
+open Compact_routing
+
+let () =
+  let rng = Rng.create 7 in
+  let n = 256 in
+  let overlay = Generators.ring_with_chords rng ~n ~chords:(2 * n) in
+  (* application-assigned identifiers: a random permutation of a sparse
+     hash space, exactly the "arbitrary network identifier" model *)
+  let overlay = Graph.normalize (Graph.relabel rng overlay) in
+  let apsp = Apsp.compute overlay in
+  Printf.printf "overlay: %d peers, %d links (ring + %d chords), diameter %.0f\n\n" n
+    (Graph.m overlay) (Graph.m overlay - n) (Apsp.diameter apsp);
+
+  let k = 3 in
+  let agm = Agm06.build ~params:(Params.scaled ~k ()) apsp in
+  let scheme = Agm06.scheme agm in
+
+  (* a batch of lookups: peer s wants the peer owning identifier ident *)
+  let lookups = Experiment.default_pairs ~seed:11 apsp ~count:1500 in
+  let agg = Simulator.evaluate apsp scheme lookups in
+  Printf.printf "%d lookups by identifier, %d delivered\n" agg.Simulator.pairs agg.Simulator.delivered;
+  Printf.printf "stretch: mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n"
+    agg.Simulator.stretch_stats.Cr_util.Stats.mean agg.Simulator.stretch_stats.Cr_util.Stats.p50
+    agg.Simulator.stretch_stats.Cr_util.Stats.p90 agg.Simulator.stretch_stats.Cr_util.Stats.p99
+    agg.Simulator.stretch_stats.Cr_util.Stats.max;
+  Printf.printf "per-peer state: mean %s, max %s\n\n"
+    (Cr_util.Ascii_table.fmt_bits (int_of_float (Storage.mean_node_bits scheme.Scheme.storage)))
+    (Cr_util.Ascii_table.fmt_bits (Storage.max_node_bits scheme.Scheme.storage));
+
+  (* show a couple of concrete lookups with their walks *)
+  List.iter
+    (fun (s, d) ->
+      let r = scheme.Scheme.route s d in
+      let cost, hops = Simulator.walk_cost overlay r.Scheme.walk in
+      Printf.printf "lookup from peer %d for identifier %d: %d hops, cost %.0f (optimal %.0f)\n" s
+        (Graph.name_of overlay d) hops cost (Apsp.distance apsp s d);
+      if hops <= 24 then
+        Printf.printf "  walk: %s\n"
+          (String.concat " -> " (List.map string_of_int r.Scheme.walk)))
+    [ (0, 200); (10, 250); (128, 1) ];
+
+  (* two comparators: the specialized stretch-3 name-independent scheme
+     (the natural DHT choice when k=2-grade state is affordable) and a
+     naive single-tree directory *)
+  let s3 = Baseline_s3.build apsp in
+  let agg_s3 = Simulator.evaluate apsp s3 lookups in
+  Printf.printf
+    "\nstretch-3 scheme [5] on the same lookups: stretch mean %.2f (p99 %.2f), state mean %s\n"
+    agg_s3.Simulator.stretch_stats.Cr_util.Stats.mean
+    agg_s3.Simulator.stretch_stats.Cr_util.Stats.p99
+    (Cr_util.Ascii_table.fmt_bits (int_of_float (Storage.mean_node_bits s3.Scheme.storage)));
+  let tree = Baseline_tree.build apsp in
+  let agg_tree = Simulator.evaluate apsp tree lookups in
+  Printf.printf
+    "naive single-tree directory: stretch mean %.2f (p99 %.2f), state mean %s\n"
+    agg_tree.Simulator.stretch_stats.Cr_util.Stats.mean
+    agg_tree.Simulator.stretch_stats.Cr_util.Stats.p99
+    (Cr_util.Ascii_table.fmt_bits (int_of_float (Storage.mean_node_bits tree.Scheme.storage)))

@@ -1,0 +1,59 @@
+(* Quickstart: build the AGM06 scale-free compact routing scheme on a
+   small weighted network, route a few messages, and inspect the
+   space/stretch numbers.
+
+     dune exec examples/quickstart.exe
+*)
+
+module Rng = Cr_util.Rng
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Generators = Cr_graph.Generators
+open Compact_routing
+
+let () =
+  (* 1. A weighted network with arbitrary node identifiers.  The scheme
+     is name-independent: it must locate nodes by identifiers it does
+     not control, so we assign adversarial random names. *)
+  let rng = Rng.create 42 in
+  let g = Generators.random_geometric rng ~n:150 ~radius:0.16 in
+  let g = Graph.normalize (Graph.relabel rng g) in
+  Printf.printf "network: %d nodes, %d edges, max degree %d\n" (Graph.n g) (Graph.m g)
+    (Graph.max_degree g);
+
+  (* 2. Ground truth (used for construction and for measuring stretch). *)
+  let apsp = Apsp.compute g in
+  Printf.printf "diameter %.2f, aspect ratio %.2f\n\n" (Apsp.diameter apsp)
+    (Apsp.aspect_ratio apsp);
+
+  (* 3. Build the scheme: k trades space for stretch. *)
+  let k = 3 in
+  let agm = Agm06.build ~params:(Params.scaled ~k ()) apsp in
+  let scheme = Agm06.scheme agm in
+  Printf.printf "built %s: %d sparse-phase centers, covers at levels [%s]\n" scheme.Scheme.name
+    (Agm06.center_count agm)
+    (String.concat "; " (List.map string_of_int (Agm06.cover_levels agm)));
+  Printf.printf "routing tables: max %s, mean %s per node\n\n"
+    (Cr_util.Ascii_table.fmt_bits (Storage.max_node_bits scheme.Scheme.storage))
+    (Cr_util.Ascii_table.fmt_bits (int_of_float (Storage.mean_node_bits scheme.Scheme.storage)));
+
+  (* 4. Route some messages.  The destination is addressed purely by its
+     network identifier. *)
+  List.iter
+    (fun (s, d) ->
+      let m = Simulator.measure apsp scheme s d in
+      Printf.printf "route %3d -> %3d (ident %6d): cost %8.2f  shortest %8.2f  stretch %.2f  hops %d\n"
+        s d (Graph.name_of g d) m.Simulator.cost (Apsp.distance apsp s d) m.Simulator.stretch
+        m.Simulator.hops)
+    [ (0, 149); (17, 3); (42, 99); (140, 7); (60, 61) ];
+
+  (* 5. Aggregate over many random pairs. *)
+  let pairs = Experiment.default_pairs ~seed:7 apsp ~count:1000 in
+  let agg = Simulator.evaluate apsp scheme pairs in
+  Printf.printf "\n%d/%d delivered; stretch mean %.2f  p50 %.2f  p99 %.2f  max %.2f\n"
+    agg.Simulator.delivered agg.Simulator.pairs agg.Simulator.stretch_stats.Cr_util.Stats.mean
+    agg.Simulator.stretch_stats.Cr_util.Stats.p50 agg.Simulator.stretch_stats.Cr_util.Stats.p99
+    agg.Simulator.stretch_stats.Cr_util.Stats.max;
+  let st = Agm06.stats agm in
+  Printf.printf "deliveries by phase: %s (last = global fallback)\n"
+    (String.concat " " (Array.to_list (Array.map string_of_int st.Agm06.phase_found)))

@@ -1,0 +1,64 @@
+(* The scale-free headline, live: sweep the aspect ratio Δ of a network
+   with structure at every distance scale and watch a hierarchical
+   (Awerbuch-Peleg style) scheme's tables grow with log Δ while the
+   paper's scheme stays flat.
+
+     dune exec examples/scale_free_demo.exe
+*)
+
+module Rng = Cr_util.Rng
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Generators = Cr_graph.Generators
+module T = Cr_util.Ascii_table
+open Compact_routing
+
+let () =
+  let n = 96 in
+  let k = 3 in
+  Printf.printf
+    "Exponentially-weighted line, n = %d (the paper's Δ = Ω(2^n) example, §1.3).\n\
+     Every distance scale is populated, so per-scale schemes pay on every level.\n\n"
+    n;
+  let table =
+    T.create
+      ~title:(Printf.sprintf "per-node table size vs aspect ratio (k = %d)" k)
+      [
+        ("log2 Δ", T.Right);
+        ("AP levels", T.Right);
+        ("AP bits/node", T.Right);
+        ("AGM06 bits/node", T.Right);
+        ("AP stretch", T.Right);
+        ("AGM06 stretch", T.Right);
+      ]
+  in
+  List.iter
+    (fun base ->
+      let rng = Rng.create 13 in
+      let g = Graph.normalize (Graph.relabel rng (Generators.exponential_line ~n ~base)) in
+      let apsp = Apsp.compute g in
+      let pairs = Experiment.default_pairs ~seed:3 apsp ~count:400 in
+      let ap = Baseline_ap.build ~k apsp in
+      let agm = Agm06.scheme (Agm06.build ~params:(Params.scaled ~k ()) apsp) in
+      let rap = Experiment.run_scheme apsp ap ~pairs in
+      let ragm = Experiment.run_scheme apsp agm ~pairs in
+      let log_delta =
+        Float.log (Apsp.aspect_ratio apsp) /. Float.log 2.0
+      in
+      T.add_row table
+        [
+          Printf.sprintf "%.0f" log_delta;
+          string_of_int (Baseline_ap.levels_built ap);
+          Printf.sprintf "%.0f" rap.Experiment.bits_mean;
+          Printf.sprintf "%.0f" ragm.Experiment.bits_mean;
+          T.fmt_float rap.Experiment.stretch_mean;
+          T.fmt_float ragm.Experiment.stretch_mean;
+        ])
+    [ 1.1; 1.3; 1.6; 2.0; 3.0; 5.0; 9.0 ];
+  T.print table;
+  print_newline ();
+  Printf.printf
+    "Reading: the AP hierarchy stores state for every scale in {1..log Δ}; its\n\
+     tables grow without bound as weights spread.  The paper's decomposition\n\
+     stores state only around each node's O(k) density-change scales, so its\n\
+     column stays flat: the scheme is scale-free.\n"

@@ -1,0 +1,1 @@
+lib/core/agm06.ml: Array Buffer Cr_cover Cr_graph Cr_landmark Cr_tree Cr_util Decomposition Hashtbl List Params Printf Scheme Storage String

@@ -1,0 +1,1 @@
+lib/core/agm06.mli: Cr_graph Decomposition Params Scheme

@@ -1,0 +1,1 @@
+lib/core/baseline_ap.ml: Array Cr_cover Cr_graph Cr_tree Cr_util Float List Printf Scheme Storage

@@ -1,0 +1,1 @@
+lib/core/baseline_ap.mli: Cr_graph Scheme

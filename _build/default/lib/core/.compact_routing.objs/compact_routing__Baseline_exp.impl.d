@@ -1,0 +1,1 @@
+lib/core/baseline_exp.ml: Array Cr_graph Cr_util Hashtbl List Option Printf Scheme Storage

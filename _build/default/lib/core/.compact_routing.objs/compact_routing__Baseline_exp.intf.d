@@ -1,0 +1,1 @@
+lib/core/baseline_exp.mli: Cr_graph Scheme

@@ -1,0 +1,1 @@
+lib/core/baseline_full.ml: Array Cr_graph Cr_util List Scheme Storage

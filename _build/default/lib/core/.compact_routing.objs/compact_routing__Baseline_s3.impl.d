@@ -1,0 +1,1 @@
+lib/core/baseline_s3.ml: Array Cr_graph Cr_tree Cr_util Hashtbl Int64 List Scheme Storage

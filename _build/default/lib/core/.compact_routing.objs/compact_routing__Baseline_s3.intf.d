@@ -1,0 +1,1 @@
+lib/core/baseline_s3.mli: Cr_graph Scheme

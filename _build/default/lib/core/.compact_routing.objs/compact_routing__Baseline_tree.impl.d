@@ -1,0 +1,1 @@
+lib/core/baseline_tree.ml: Array Cr_graph Cr_tree Scheme Storage

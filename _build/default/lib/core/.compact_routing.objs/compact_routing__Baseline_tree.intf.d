@@ -1,0 +1,1 @@
+lib/core/baseline_tree.mli: Cr_graph Scheme

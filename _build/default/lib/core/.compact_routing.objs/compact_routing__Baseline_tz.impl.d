@@ -1,0 +1,1 @@
+lib/core/baseline_tz.ml: Array Cr_graph Cr_util Hashtbl List Printf Scheme Storage

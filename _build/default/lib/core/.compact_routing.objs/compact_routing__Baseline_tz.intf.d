@@ -1,0 +1,1 @@
+lib/core/baseline_tz.mli: Cr_graph Scheme

@@ -1,0 +1,1 @@
+lib/core/decomposition.ml: Array Cr_graph Cr_util Float List

@@ -1,0 +1,1 @@
+lib/core/distance_oracle.ml: Array Cr_graph Cr_util Hashtbl

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Buffer Cr_graph Cr_util Fun List Printf Scheme Simulator Storage

@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Cr_graph Cr_util Storage

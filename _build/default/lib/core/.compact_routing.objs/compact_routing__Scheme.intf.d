@@ -1,0 +1,1 @@
+lib/core/scheme.mli: Cr_graph Storage

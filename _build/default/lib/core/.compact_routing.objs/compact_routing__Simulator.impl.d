@@ -1,0 +1,1 @@
+lib/core/simulator.ml: Array Cr_graph Cr_util List Printf Scheme

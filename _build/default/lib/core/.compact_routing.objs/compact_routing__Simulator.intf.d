@@ -1,0 +1,1 @@
+lib/core/simulator.mli: Cr_graph Cr_util Scheme

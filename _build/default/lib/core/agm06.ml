@@ -1,0 +1,354 @@
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Ball = Cr_graph.Ball
+module Bits = Cr_util.Bits
+module Landmarks = Cr_landmark.Landmarks
+module Tree = Cr_tree.Tree
+module Ni = Cr_tree.Ni_tree_routing
+module Dense = Cr_tree.Dense_tree_routing
+module Cover = Cr_cover.Sparse_cover
+
+type mode = Full | Sparse_only | Dense_only
+
+type stats = {
+  mutable routes : int;
+  mutable delivered : int;
+  mutable fallback_resolved : int;
+  mutable failed : int;
+  phase_found : int array;
+}
+
+(* Per-(node, phase) routing plan. *)
+type phase_plan =
+  | Sparse of { center : int; bound : int }
+  | Dense_phase of { level : int; cluster : int (* index into that level's cover *) }
+
+type t = {
+  params : Params.t;
+  mode : mode;
+  apsp : Apsp.t;
+  decomp : Decomposition.t;
+  landmarks : Landmarks.t;
+  plans : phase_plan array array; (* plans.(u).(i) for levels i = 0..k-1 *)
+  centers : (int, Ni.t) Hashtbl.t; (* sparse centers in use -> NI routing *)
+  covers : (int * Cover.t * Dense.t array) list; (* level, cover, per-cluster routing *)
+  global_root : int;
+  global_ni : Ni.t;
+  storage : Storage.t;
+  stats : stats;
+  scheme : Scheme.t;
+}
+
+let tree_path_append tree walk_rev a b =
+  match Tree.path tree a b with
+  | [] -> walk_rev
+  | _first :: rest -> List.rev_append rest walk_rev
+
+(* Append a search walk (which starts at its tree root, where the main
+   walk currently stands). *)
+let search_walk_append walk_rev = function
+  | [] -> walk_rev
+  | _first :: rest -> List.rev_append rest walk_rev
+
+let build ?params ?(mode = Full) apsp =
+  let params = match params with Some p -> p | None -> Params.scaled ~k:3 () in
+  Params.validate params;
+  let g = Apsp.graph apsp in
+  let n = Graph.n g in
+  if n < 1 then invalid_arg "Agm06.build: empty graph";
+  if Graph.m g > 0 && Graph.min_weight g < 1.0 -. 1e-9 then
+    invalid_arg "Agm06.build: graph must be normalized (min edge weight 1)";
+  let k = params.Params.k in
+  let seed = params.Params.seed in
+  let decomp = Decomposition.build apsp ~k in
+  let landmarks = Landmarks.build ~seed ~n ~k in
+  let cap = Params.landmark_cap params ~n in
+  let storage = Storage.create ~n in
+  let idb = Bits.id_bits ~n in
+  (* ---- nearby landmark sets S(u,i) and their inversion ---- *)
+  let s_sets = Array.make n [||] in
+  for u = 0 to n - 1 do
+    let ball = Apsp.ball apsp u in
+    let tbl = Hashtbl.create (k * cap) in
+    for i = 0 to k - 1 do
+      Array.iter (fun v -> Hashtbl.replace tbl v ()) (Landmarks.nearby landmarks ball ~level:i ~cap)
+    done;
+    let arr = Array.of_seq (Hashtbl.to_seq_keys tbl) in
+    Array.sort compare arr;
+    s_sets.(u) <- arr
+  done;
+  let members_of = Array.make n [] in
+  for u = n - 1 downto 0 do
+    Array.iter (fun v -> members_of.(v) <- u :: members_of.(v)) s_sets.(u)
+  done;
+  (* ---- global fallback root: closest-to-everything top-rank landmark ---- *)
+  let top_rank = ref 0 in
+  for v = 0 to n - 1 do
+    if Landmarks.rank landmarks v > !top_rank then top_rank := Landmarks.rank landmarks v
+  done;
+  let global_root = ref (-1) in
+  for v = n - 1 downto 0 do
+    if Landmarks.rank landmarks v = !top_rank then global_root := v
+  done;
+  let global_root = !global_root in
+  (* ---- phase plans ---- *)
+  let treat_as_dense u i =
+    match mode with
+    | Full -> Decomposition.is_dense decomp u i
+    | Sparse_only -> false
+    | Dense_only -> true
+  in
+  let sparse_centers = Hashtbl.create 64 in
+  let plans =
+    Array.init n (fun u ->
+        Array.init k (fun i ->
+            if treat_as_dense u i then
+              Dense_phase { level = Decomposition.range decomp u i; cluster = -1 (* filled below *) }
+            else begin
+              let ball = Apsp.ball apsp u in
+              (* A(u,0) = {u}: radius 0; otherwise the ball of radius 2^{a(u,i)} *)
+              let radius =
+                if i = 0 then 0.0
+                else Decomposition.radius_of_exponent (Decomposition.range decomp u i)
+              in
+              let center =
+                match Landmarks.center_in landmarks ball ~radius with
+                | Some c -> c
+                | None -> u
+              in
+              Hashtbl.replace sparse_centers center ();
+              Sparse { center; bound = k (* refined after trees are built *) }
+            end))
+  in
+  Hashtbl.replace sparse_centers global_root ();
+  (* ---- per-center trees with Lemma 4 routing; full storage sweep ---- *)
+  let centers = Hashtbl.create (Hashtbl.length sparse_centers) in
+  let build_center_tree v ~keep_all ~category =
+    let keep =
+      if keep_all then fun _ -> true
+      else begin
+        let members = Hashtbl.create 16 in
+        List.iter (fun u -> Hashtbl.replace members u ()) members_of.(v);
+        Hashtbl.replace members v ();
+        fun w -> Hashtbl.mem members w
+      end
+    in
+    let tree = Tree.of_sssp g (Apsp.sssp apsp v) ~keep in
+    let ni = Ni.build ~seed:(seed + v + 1) ~k ~n_global:n tree in
+    Array.iter
+      (fun w -> Storage.add storage ~node:w ~category ~bits:(Ni.node_storage_bits ni w))
+      (Tree.nodes tree);
+    ni
+  in
+  (* The global tree spans everything and is accounted under "fallback". *)
+  let global_ni = build_center_tree global_root ~keep_all:true ~category:"fallback" in
+  (* Every node v held in someone's S(u) gets a tree T(v); its storage is
+     charged to its members.  Trees of centers actually used for routing
+     are retained. *)
+  for v = 0 to n - 1 do
+    if v <> global_root && members_of.(v) <> [] then begin
+      let ni = build_center_tree v ~keep_all:false ~category:"sparse-trees" in
+      if Hashtbl.mem sparse_centers v then Hashtbl.replace centers v ni
+    end
+  done;
+  Hashtbl.replace centers global_root global_ni;
+  (* ---- refine sparse bounds b(u,i) now that trees exist ---- *)
+  for u = 0 to n - 1 do
+    Array.iteri
+      (fun i plan ->
+        match plan with
+        | Sparse { center; _ } ->
+            let ni = Hashtbl.find centers center in
+            let b = Ni.guaranteed_bound ni (Decomposition.e_set decomp u i) in
+            plans.(u).(i) <- Sparse { center; bound = b }
+        | Dense_phase _ -> ())
+      plans.(u)
+  done;
+  (* ---- covers for every populated level (paper §3.5 stores all) ---- *)
+  let covers =
+    List.map
+      (fun level ->
+        let allowed u = Decomposition.in_level_graph decomp u level in
+        let rho = Decomposition.radius_of_exponent level in
+        let cover = Cover.build ~allowed ~k ~rho g in
+        let dense_rts =
+          Array.map (fun (c : Cover.cluster) -> Dense.build c.Cover.tree) (Cover.clusters cover)
+        in
+        Array.iter
+          (fun (rt : Dense.t) ->
+            Array.iter
+              (fun w ->
+                Storage.add storage ~node:w ~category:"dense-covers"
+                  ~bits:(Dense.node_storage_bits rt w))
+              (Tree.nodes (Dense.tree rt)))
+          dense_rts;
+        (level, cover, dense_rts))
+      (Decomposition.needed_levels decomp)
+  in
+  let cover_at level = List.find (fun (l, _, _) -> l = level) covers in
+  (* fill in dense cluster assignments *)
+  for u = 0 to n - 1 do
+    Array.iteri
+      (fun i plan ->
+        match plan with
+        | Dense_phase { level; _ } ->
+            let _, cover, _ = cover_at level in
+            plans.(u).(i) <- Dense_phase { level; cluster = Cover.home cover u }
+        | Sparse _ -> ())
+      plans.(u)
+  done;
+  (* ---- local records: ranges, per-phase center/bound/root ids ---- *)
+  for u = 0 to n - 1 do
+    Storage.add storage ~node:u ~category:"local" ~bits:((k + 1) * Bits.range_bits);
+    Array.iter
+      (fun plan ->
+        let bits =
+          match plan with
+          | Sparse _ -> idb + Bits.level_bits ~k
+          | Dense_phase _ -> idb
+        in
+        Storage.add storage ~node:u ~category:"local" ~bits)
+      plans.(u);
+    Storage.add storage ~node:u ~category:"local" ~bits:idb (* global root id *)
+  done;
+  let stats =
+    { routes = 0; delivered = 0; fallback_resolved = 0; failed = 0; phase_found = Array.make (k + 2) 0 }
+  in
+  (* ---- the routing procedure ---- *)
+  let route src dst =
+    let ident = Graph.name_of g dst in
+    stats.routes <- stats.routes + 1;
+    if src = dst then begin
+      stats.delivered <- stats.delivered + 1;
+      { Scheme.walk = [ src ]; delivered = true; phases_used = 0 }
+    end
+    else begin
+      let finish ?(is_global = false) walk_rev phase found =
+        if found then begin
+          stats.delivered <- stats.delivered + 1;
+          stats.phase_found.(min phase (k + 1)) <- stats.phase_found.(min phase (k + 1)) + 1;
+          if is_global then stats.fallback_resolved <- stats.fallback_resolved + 1
+        end
+        else stats.failed <- stats.failed + 1;
+        { Scheme.walk = List.rev walk_rev; delivered = found; phases_used = phase }
+      in
+      let rec phase_loop i walk_rev =
+        if i > k - 1 then global_phase walk_rev
+        else begin
+          match plans.(src).(i) with
+          | Sparse { center; bound } -> (
+              let ni = Hashtbl.find centers center in
+              let tree = Ni.tree ni in
+              let walk_rev = tree_path_append tree walk_rev src center in
+              let r = Ni.search ni ~bound ident in
+              match r.Ni.outcome with
+              | Ni.Found x ->
+                  ignore x;
+                  finish (search_walk_append walk_rev r.Ni.walk) (i + 1) true
+              | Ni.Not_found_reported ->
+                  let walk_rev = search_walk_append walk_rev r.Ni.walk in
+                  let walk_rev = tree_path_append tree walk_rev center src in
+                  phase_loop (i + 1) walk_rev)
+          | Dense_phase { level; cluster } -> (
+              let _, cover, dense_rts = cover_at level in
+              let cl = (Cover.clusters cover).(cluster) in
+              let rt = dense_rts.(cluster) in
+              let tree = cl.Cover.tree in
+              let root = cl.Cover.center in
+              let walk_rev = tree_path_append tree walk_rev src root in
+              let r = Dense.search rt ident in
+              match r.Dense.outcome with
+              | Dense.Found _ -> finish (search_walk_append walk_rev r.Dense.walk) (i + 1) true
+              | Dense.Not_found_reported ->
+                  let walk_rev = search_walk_append walk_rev r.Dense.walk in
+                  let walk_rev = tree_path_append tree walk_rev root src in
+                  phase_loop (i + 1) walk_rev)
+        end
+      and global_phase walk_rev =
+        let tree = Ni.tree global_ni in
+        let walk_rev = tree_path_append tree walk_rev src global_root in
+        let r = Ni.search global_ni ~bound:k ident in
+        match r.Ni.outcome with
+        | Ni.Found _ -> finish ~is_global:true (search_walk_append walk_rev r.Ni.walk) (k + 1) true
+        | Ni.Not_found_reported ->
+            let walk_rev = search_walk_append walk_rev r.Ni.walk in
+            let walk_rev = tree_path_append tree walk_rev global_root src in
+            finish ~is_global:true walk_rev (k + 1) false
+      in
+      phase_loop 0 [ src ]
+    end
+  in
+  let scheme =
+    { Scheme.name = Printf.sprintf "agm06(k=%d)" k; graph = g; storage;
+      (* destination identifier + phase/round counters + the in-flight
+         tree-routing label: the paper's Õ(1)-bit headers *)
+      header_bits = Scheme.label_header_bits ~n + Bits.bits_for (k + 2) + Bits.level_bits ~k;
+      route }
+  in
+  {
+    params;
+    mode;
+    apsp;
+    decomp;
+    landmarks;
+    plans;
+    centers;
+    covers;
+    global_root;
+    global_ni;
+    storage;
+    stats;
+    scheme;
+  }
+
+let scheme t = t.scheme
+
+let decomposition t = t.decomp
+
+let params t = t.params
+
+let mode t = t.mode
+
+let stats t = t.stats
+
+let center_count t = Hashtbl.length t.centers
+
+let cover_levels t = List.map (fun (l, _, _) -> l) t.covers
+
+let phase_plan t u i =
+  if i < 0 || i >= t.params.Params.k then invalid_arg "Agm06.phase_plan: level out of range";
+  match t.plans.(u).(i) with
+  | Sparse { center; bound } -> `Sparse (center, bound)
+  | Dense_phase { level; cluster } ->
+      let cover =
+        let _, c, _ = List.find (fun (l, _, _) -> l = level) t.covers in
+        c
+      in
+      `Dense (level, (Cr_cover.Sparse_cover.clusters cover).(cluster).Cr_cover.Sparse_cover.center)
+
+let describe_node t u =
+  let buf = Buffer.create 512 in
+  let k = t.params.Params.k in
+  Buffer.add_string buf
+    (Printf.sprintf "node %d (identifier %d)\n" u (Graph.name_of (Apsp.graph t.apsp) u));
+  Buffer.add_string buf
+    (Printf.sprintf "  ranges a(u,0..%d) = [%s]\n" k
+       (String.concat "; "
+          (List.init (k + 1) (fun i -> string_of_int (Decomposition.range t.decomp u i)))));
+  for i = 0 to k - 1 do
+    match phase_plan t u i with
+    | `Sparse (center, bound) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  level %d: sparse -> center %d, %d-bounded search\n" i center bound)
+    | `Dense (level, root) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  level %d: dense  -> cover level %d, cluster root %d\n" i level root)
+  done;
+  Buffer.add_string buf (Printf.sprintf "  global root %d\n" t.global_root);
+  Buffer.add_string buf "  storage:\n";
+  List.iter
+    (fun (cat, bits) -> Buffer.add_string buf (Printf.sprintf "    %-14s %6d bits\n" cat bits))
+    (Storage.node_categories t.storage u);
+  Buffer.add_string buf
+    (Printf.sprintf "    %-14s %6d bits\n" "total" (Storage.node_bits t.storage u));
+  Buffer.contents buf

@@ -1,0 +1,88 @@
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Tree = Cr_tree.Tree
+module Dense = Cr_tree.Dense_tree_routing
+module Cover = Cr_cover.Sparse_cover
+
+(* scheme (by physical identity) -> number of scales, for reporting *)
+let levels_count : (Scheme.t * int) list ref = ref []
+
+let build ?(k = 3) apsp =
+  let g = Apsp.graph apsp in
+  let n = Graph.n g in
+  let diameter = Apsp.diameter apsp in
+  let log_delta =
+    max 0 (int_of_float (Float.ceil (Float.log (Float.max 1.0 diameter) /. Float.log 2.0)))
+  in
+  let storage = Storage.create ~n in
+  (* one cover per scale, over the whole graph: the log Δ dependence *)
+  let levels =
+    Array.init (log_delta + 1) (fun i ->
+        let rho = 2.0 ** float_of_int i in
+        let cover = Cover.build ~k ~rho g in
+        let rts =
+          Array.map (fun (c : Cover.cluster) -> Dense.build c.Cover.tree) (Cover.clusters cover)
+        in
+        Array.iter
+          (fun (rt : Dense.t) ->
+            Array.iter
+              (fun w ->
+                Storage.add storage ~node:w ~category:"ap-covers"
+                  ~bits:(Dense.node_storage_bits rt w))
+              (Tree.nodes (Dense.tree rt)))
+          rts;
+        (* each node records its home-cluster root at this scale *)
+        for u = 0 to n - 1 do
+          Storage.add storage ~node:u ~category:"ap-local"
+            ~bits:(Cr_util.Bits.id_bits ~n)
+        done;
+        (cover, rts))
+  in
+  let route src dst =
+    if src = dst then { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
+    else begin
+      let ident = Graph.name_of g dst in
+      let rec scale i walk_rev =
+        if i > log_delta then { Scheme.walk = List.rev walk_rev; delivered = false; phases_used = i }
+        else begin
+          let cover, rts = levels.(i) in
+          let ci = Cover.home cover src in
+          let cl = (Cover.clusters cover).(ci) in
+          let rt = rts.(ci) in
+          let tree = cl.Cover.tree in
+          let root = cl.Cover.center in
+          let walk_rev =
+            match Tree.path tree src root with
+            | [] -> walk_rev
+            | _ :: rest -> List.rev_append rest walk_rev
+          in
+          let r = Dense.search rt ident in
+          let walk_rev =
+            match r.Dense.walk with [] -> walk_rev | _ :: rest -> List.rev_append rest walk_rev
+          in
+          match r.Dense.outcome with
+          | Dense.Found _ ->
+              { Scheme.walk = List.rev walk_rev; delivered = true; phases_used = i + 1 }
+          | Dense.Not_found_reported ->
+              let walk_rev =
+                match Tree.path tree root src with
+                | [] -> walk_rev
+                | _ :: rest -> List.rev_append rest walk_rev
+              in
+              scale (i + 1) walk_rev
+        end
+      in
+      scale 0 [ src ]
+    end
+  in
+  let scheme =
+    { Scheme.name = Printf.sprintf "awerbuch-peleg(k=%d)" k; graph = g; storage;
+      header_bits = Scheme.label_header_bits ~n; route }
+  in
+  levels_count := (scheme, log_delta + 1) :: !levels_count;
+  scheme
+
+let levels_built (scheme : Scheme.t) =
+  match List.find_opt (fun (s, _) -> s == scheme) !levels_count with
+  | Some (_, l) -> l
+  | None -> 0

@@ -1,0 +1,139 @@
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Ball = Cr_graph.Ball
+module Dijkstra = Cr_graph.Dijkstra
+module Bits = Cr_util.Bits
+module Digit_hash = Cr_util.Digit_hash
+
+let shortest_path apsp a b =
+  (* walk b's shortest-path tree backwards: a ... b *)
+  List.rev (Dijkstra.path_to (Apsp.sssp apsp b) a)
+
+let build ?(k = 3) ?(seed = 77) apsp =
+  let g = Apsp.graph apsp in
+  let n = Graph.n g in
+  let sigma = max 2 (Bits.ceil_pow (float_of_int (max 2 n)) (1.0 /. float_of_int k)) in
+  let hash = Digit_hash.create ~seed ~sigma ~digits:k in
+  let idb = Bits.id_bits ~n in
+  let ident v = Graph.name_of g v in
+  let h = Array.init n (fun v -> Digit_hash.hash hash (ident v)) in
+  (* prefix buckets: for each level j (1..k), nodes keyed by their first j
+     digits *)
+  let bucket_key digits j =
+    let v = ref 0 in
+    for i = 0 to j - 1 do
+      v := (!v * sigma) + digits.(i)
+    done;
+    (j * (sigma * n)) + !v
+  in
+  let buckets = Hashtbl.create (2 * n * k) in
+  for v = 0 to n - 1 do
+    for j = 1 to k do
+      let key = bucket_key h.(v) j in
+      Hashtbl.replace buckets key (v :: Option.value ~default:[] (Hashtbl.find_opt buckets key))
+    done
+  done;
+  let storage = Storage.create ~n in
+  (* vicinity tables: sigma closest nodes *)
+  let vicinity = Array.make n [||] in
+  for u = 0 to n - 1 do
+    let ball = Apsp.ball apsp u in
+    vicinity.(u) <- Ball.closest ball sigma;
+    let pb = Bits.port_bits ~degree:(max 1 (Graph.degree g u)) in
+    Storage.add storage ~node:u ~category:"exp-vicinity"
+      ~bits:(Array.length vicinity.(u) * ((2 * idb) + pb))
+  done;
+  let in_vicinity = Array.map (fun arr ->
+      let t = Hashtbl.create (Array.length arr) in
+      Array.iter (fun v -> Hashtbl.replace t v ()) arr;
+      t) vicinity in
+  (* digit pointers: next.(u).(j-1).(c) = nearest node whose hash extends
+     h(u)'s (j-1)-prefix by digit c; -1 when none exists *)
+  let next = Array.init n (fun _ -> Array.make_matrix k sigma (-1)) in
+  for u = 0 to n - 1 do
+    let ball = Apsp.ball apsp u in
+    for j = 1 to k do
+      for c = 0 to sigma - 1 do
+        let target_prefix = Array.init j (fun i -> if i = j - 1 then c else h.(u).(i)) in
+        let key = bucket_key target_prefix j in
+        match Hashtbl.find_opt buckets key with
+        | None | Some [] -> ()
+        | Some candidates ->
+            (* nearest by distance (ties by id): scan the distance order *)
+            let member = Hashtbl.create (List.length candidates) in
+            List.iter (fun v -> Hashtbl.replace member v ()) candidates;
+            let found = Ball.closest_in ball 1 (fun v -> Hashtbl.mem member v) in
+            if Array.length found > 0 then begin
+              next.(u).(j - 1).(c) <- found.(0);
+              (* charge the pointer: id + a source route of hop-count ports *)
+              let hops = max 0 (List.length (shortest_path apsp u found.(0)) - 1) in
+              Storage.add storage ~node:u ~category:"exp-pointers"
+                ~bits:(idb + (hops * Bits.port_bits ~degree:(max 1 (Graph.max_degree g))))
+            end
+      done
+    done
+  done;
+  (* owner directories: nodes whose full hash equals mine *)
+  let owned = Array.make n [] in
+  for v = 0 to n - 1 do
+    let key = bucket_key h.(v) k in
+    match Hashtbl.find_opt buckets key with
+    | Some owners ->
+        (* every node with the same full hash owns v (including v) *)
+        List.iter
+          (fun o ->
+            (* ownership only makes sense within a connected component *)
+            if o <> v && Apsp.distance apsp o v < infinity then owned.(o) <- v :: owned.(o))
+          owners
+    | None -> ()
+  done;
+  for o = 0 to n - 1 do
+    List.iter
+      (fun v ->
+        let hops = max 0 (List.length (shortest_path apsp o v) - 1) in
+        Storage.add storage ~node:o ~category:"exp-owners"
+          ~bits:((2 * idb) + (hops * Bits.port_bits ~degree:(max 1 (Graph.max_degree g)))))
+      owned.(o)
+  done;
+  let route src dst =
+    if src = dst then { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
+    else if Apsp.distance apsp src dst = infinity then
+      { Scheme.walk = [ src ]; delivered = false; phases_used = 1 }
+    else begin
+      let y = Digit_hash.hash hash (ident dst) in
+      let rec resolve current walk_rev j =
+        (* vicinity check at every visited directory node *)
+        if Hashtbl.mem in_vicinity.(current) dst then begin
+          let tail = match shortest_path apsp current dst with [] -> [] | _ :: r -> r in
+          { Scheme.walk = List.rev (List.rev_append tail walk_rev); delivered = true; phases_used = j }
+        end
+        else if j > k then begin
+          (* current owns the full hash: final source-routed hop *)
+          if List.mem dst owned.(current) || current = dst then begin
+            let tail = match shortest_path apsp current dst with [] -> [] | _ :: r -> r in
+            {
+              Scheme.walk = List.rev (List.rev_append tail walk_rev);
+              delivered = true;
+              phases_used = k + 1;
+            }
+          end
+          else { Scheme.walk = List.rev walk_rev; delivered = false; phases_used = k + 1 }
+        end
+        else begin
+          match next.(current).(j - 1).(y.(j - 1)) with
+          | -1 -> { Scheme.walk = List.rev walk_rev; delivered = false; phases_used = j }
+          | nxt ->
+              let tail = match shortest_path apsp current nxt with [] -> [] | _ :: r -> r in
+              resolve nxt (List.rev_append tail walk_rev) (j + 1)
+        end
+      in
+      resolve src [ src ] 1
+    end
+  in
+  {
+    Scheme.name = Printf.sprintf "ablp-exp(k=%d)" k;
+    graph = g;
+    storage;
+    header_bits = Scheme.default_header_bits ~n + Bits.bits_for (k + 1);
+    route;
+  }

@@ -1,0 +1,25 @@
+(** Baseline: scale-free name-independent routing with hash-digit
+    directory chains, in the style of Awerbuch–Bar-Noy–Linial–Peleg
+    [7, 8] and Arias et al. [6].
+
+    Until this paper, these were the only scale-free schemes for general
+    graphs, with [Õ(n^{1/k})] space but stretch {e exponential} in [k].
+    The variant implemented here:
+
+    - every identifier hashes to a digit string [h(·) ∈ Σ^k],
+      [Σ = ⌈n^{1/k}⌉];
+    - every node [u] stores a {e vicinity} table routing to its [σ]
+      closest nodes, and for every level [j] and digit [c] a pointer to
+      the nearest node whose hash extends [h(u)]'s [(j−1)]-prefix by [c];
+    - every node stores source routes to the nodes whose full hash equals
+      its own ({e owner directory}, expected O(1) entries).
+
+    Routing resolves the destination hash digit by digit, hopping to the
+    nearest node matching one more digit, checking every intermediate
+    vicinity; the owner of the full hash holds the final route.  Each
+    digit resolution can multiply the distance travelled, which is
+    exactly the [O(2^k)]-shaped stretch the headline experiment T1
+    contrasts with the paper's [O(k)]. *)
+
+val build : ?k:int -> ?seed:int -> Cr_graph.Apsp.t -> Scheme.t
+(** [k] defaults to 3. *)

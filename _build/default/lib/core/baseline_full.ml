@@ -1,0 +1,32 @@
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Dijkstra = Cr_graph.Dijkstra
+module Bits = Cr_util.Bits
+
+let build apsp =
+  let g = Apsp.graph apsp in
+  let n = Graph.n g in
+  let storage = Storage.create ~n in
+  let idb = Bits.id_bits ~n in
+  for u = 0 to n - 1 do
+    (* (n-1) entries: destination identifier -> outgoing port *)
+    let pb = Bits.port_bits ~degree:(Graph.degree g u) in
+    Storage.add storage ~node:u ~category:"full-tables"
+      ~bits:((n - 1) * ((2 * idb) + pb))
+  done;
+  let route src dst =
+    if src = dst then { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
+    else begin
+      let res = Apsp.sssp apsp dst in
+      if res.Dijkstra.dist.(src) = infinity then
+        { Scheme.walk = [ src ]; delivered = false; phases_used = 1 }
+      else begin
+        (* walk the reverse of the dst-rooted shortest path tree *)
+        let walk = List.rev (Dijkstra.path_to res src) in
+        { Scheme.walk; delivered = true; phases_used = 1 }
+      end
+    end
+  in
+  { Scheme.name = "full-tables"; graph = g; storage;
+    header_bits = Scheme.default_header_bits ~n;
+    route }

@@ -1,0 +1,9 @@
+(** Baseline: full shortest-path routing tables.
+
+    The trivial stretch-1 scheme from the paper's introduction: every
+    node stores the next hop of an all-pairs shortest-path computation
+    for each of the [n−1] destinations, keyed by network identifier —
+    [Ω(n log n)] bits per node.  The quality anchor at the space-hungry
+    end of the trade-off. *)
+
+val build : Cr_graph.Apsp.t -> Scheme.t

@@ -1,0 +1,29 @@
+(** Baseline: name-independent stretch-3 routing with [Õ(√n)] space, in
+    the style of Abraham–Gavoille–Malkhi–Nisan–Thorup [5].
+
+    The paper cites this as the optimal trade-off point for stretch-3
+    name-independent routing (§1.2: "random sampling based schemes were
+    used for optimal trade-offs for stretch 3 schemes with Õ(√n) space").
+    It is the specialized [k = 2] end of the curve, against which the
+    general scheme's [k]-parameterized behaviour can be compared.
+
+    Construction:
+    - every identifier hashes to one of [⌈√n⌉] {e colors};
+    - every node stores a {e vicinity} table routing to its
+      [⌈√(n log n)⌉] closest nodes;
+    - [⌈√n⌉]-ish {e landmarks} are sampled (and topped up so every
+      vicinity contains one); every node stores its own routing label in
+      every landmark's shortest-path tree ({!Cr_tree.Tree_labels});
+    - every node [w] keeps a {e dictionary} entry — closest landmark and
+      tree label — for every node of color [color(w)];
+    - nodes missing some color in their vicinity store an explicit
+      pointer to the nearest node of that color (counted in the bits).
+
+    Routing [u → v]: if [v] is in [u]'s vicinity, walk the shortest
+    path; otherwise hop to the nearest color([v]) node [w] (vicinity or
+    stored pointer), read [(ℓ(v), λ(v))] from its dictionary, and follow
+    the tree of landmark [ℓ(v)] straight to [v].  The classic analysis
+    gives stretch 3 with handshaking; this direct variant measures a
+    small constant (≈ 3–5 worst case on benign graphs). *)
+
+val build : ?seed:int -> Cr_graph.Apsp.t -> Scheme.t

@@ -1,0 +1,47 @@
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Dijkstra = Cr_graph.Dijkstra
+module Tree = Cr_tree.Tree
+module Dense = Cr_tree.Dense_tree_routing
+
+(* Root at an approximate center: the node minimizing eccentricity. *)
+let pick_center apsp n =
+  let best = ref 0 and best_ecc = ref infinity in
+  for v = 0 to n - 1 do
+    let e = Dijkstra.eccentricity (Apsp.sssp apsp v) in
+    if e < !best_ecc then begin
+      best := v;
+      best_ecc := e
+    end
+  done;
+  !best
+
+let build apsp =
+  let g = Apsp.graph apsp in
+  let n = Graph.n g in
+  let center = pick_center apsp n in
+  let tree = Tree.of_sssp g (Apsp.sssp apsp center) ~keep:(fun _ -> true) in
+  let rt = Dense.build tree in
+  let storage = Storage.create ~n in
+  Array.iter
+    (fun w ->
+      Storage.add storage ~node:w ~category:"tree" ~bits:(Dense.node_storage_bits rt w))
+    (Tree.nodes tree);
+  let route src dst =
+    if src = dst then { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
+    else if not (Tree.mem tree src && Tree.mem tree dst) then
+      { Scheme.walk = [ src ]; delivered = false; phases_used = 1 }
+    else begin
+      (* climb to the root, then search the directory *)
+      let up = Tree.path tree src center in
+      let r = Dense.search rt (Graph.name_of g dst) in
+      let search_tail = match r.Dense.walk with [] -> [] | _ :: rest -> rest in
+      match r.Dense.outcome with
+      | Dense.Found _ -> { Scheme.walk = up @ search_tail; delivered = true; phases_used = 1 }
+      | Dense.Not_found_reported ->
+          { Scheme.walk = up @ search_tail; delivered = false; phases_used = 1 }
+    end
+  in
+  { Scheme.name = "single-tree"; graph = g; storage;
+    header_bits = Scheme.label_header_bits ~n;
+    route }

@@ -1,0 +1,10 @@
+(** Baseline: one global spanning tree with a hash directory.
+
+    The minimal-space anchor: a single shortest-path tree rooted at an
+    approximate center carries the entire network; destinations are
+    found name-independently through the Lemma 7 hash directory on that
+    tree.  Per-node state is tiny, but all traffic detours through the
+    tree, so the stretch is unbounded (it degrades with the network's
+    geometry — clearly visible in experiment F1). *)
+
+val build : Cr_graph.Apsp.t -> Scheme.t

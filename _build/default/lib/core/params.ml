@@ -1,0 +1,25 @@
+module Bits = Cr_util.Bits
+
+type t = {
+  k : int;
+  seed : int;
+  landmark_cap_factor : float;
+  landmark_cap_log : bool;
+}
+
+let scaled ~k ?(seed = 1) () = { k; seed; landmark_cap_factor = 1.0; landmark_cap_log = false }
+
+let paper ~k ?(seed = 1) () = { k; seed; landmark_cap_factor = 16.0; landmark_cap_log = true }
+
+let validate t =
+  if t.k < 1 then invalid_arg "Params: k < 1";
+  if not (t.landmark_cap_factor > 0.0) then invalid_arg "Params: cap factor <= 0"
+
+let landmark_cap t ~n =
+  let fn = float_of_int (max 2 n) in
+  let base = fn ** (2.0 /. float_of_int t.k) in
+  let lg = if t.landmark_cap_log then float_of_int (Bits.bits_for (max 2 n)) else 1.0 in
+  let cap = int_of_float (Float.ceil (t.landmark_cap_factor *. base *. lg)) in
+  max 1 (min n cap)
+
+let sigma t ~n = max 2 (Bits.ceil_pow (float_of_int (max 2 n)) (1.0 /. float_of_int t.k))

@@ -1,0 +1,34 @@
+(** Scheme parameters.
+
+    The paper's constructions carry constants ([|S(u,i)| = 16 n^{2/k} ln n],
+    Claims 1–2 thresholds) that exceed [n] itself at simulation scale.
+    Following DESIGN.md §2, the structure is kept exact and the constants
+    are parameters: {!paper} uses the published constants; {!scaled} uses
+    unit constants so the [n^{1/k}] regime is visible at [n ≤ 4096].
+    Every experiment states which preset it used. *)
+
+type t = {
+  k : int;  (** the trade-off parameter, [k ≥ 1] *)
+  seed : int;  (** master seed for sampling and hashing *)
+  landmark_cap_factor : float;
+      (** multiplier [c] in [|S(u,i)| = ⌈c · n^{2/k} · L⌉] *)
+  landmark_cap_log : bool;
+      (** whether the [L = log₂ n] factor is included in the cap *)
+}
+
+val scaled : k:int -> ?seed:int -> unit -> t
+(** Unit constants, no log factor: [|S(u,i)| = ⌈n^{2/k}⌉]. *)
+
+val paper : k:int -> ?seed:int -> unit -> t
+(** The paper's constants: [|S(u,i)| = ⌈16 · n^{2/k} · log₂ n⌉]
+    (clamped to [n] like every set of nodes). *)
+
+val landmark_cap : t -> n:int -> int
+(** The effective [|S(u,i)|] cap for an [n]-node network, [≥ 1] and
+    [≤ n]. *)
+
+val sigma : t -> n:int -> int
+(** [⌈n^{1/k}⌉], the digit alphabet size (at least 2). *)
+
+val validate : t -> unit
+(** @raise Invalid_argument when fields are out of range. *)

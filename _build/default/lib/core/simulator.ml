@@ -1,0 +1,100 @@
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Stats = Cr_util.Stats
+module Rng = Cr_util.Rng
+
+type measured = {
+  src : int;
+  dst : int;
+  delivered : bool;
+  cost : float;
+  hops : int;
+  stretch : float;
+}
+
+exception Invalid_walk of string
+
+let walk_cost g walk =
+  match walk with
+  | [] -> raise (Invalid_walk "empty walk")
+  | first :: _ ->
+      ignore first;
+      let rec go cost hops = function
+        | a :: (b :: _ as rest) -> (
+            match Graph.edge_weight g a b with
+            | Some w -> go (cost +. w) (hops + 1) rest
+            | None -> raise (Invalid_walk (Printf.sprintf "non-edge %d-%d" a b)))
+        | _ -> (cost, hops)
+      in
+      go 0.0 0 walk
+
+let measure apsp (scheme : Scheme.t) src dst =
+  let g = Apsp.graph apsp in
+  let r = scheme.Scheme.route src dst in
+  let walk = r.Scheme.walk in
+  (match walk with
+  | [] -> raise (Invalid_walk "empty walk")
+  | first :: _ -> if first <> src then raise (Invalid_walk "walk does not start at source"));
+  if r.Scheme.delivered then begin
+    match List.rev walk with
+    | last :: _ ->
+        if last <> dst then
+          raise (Invalid_walk (Printf.sprintf "claimed delivery but walk ends at %d, not %d" last dst))
+    | [] -> assert false
+  end;
+  let cost, hops = walk_cost g walk in
+  let d = Apsp.distance apsp src dst in
+  let stretch =
+    if not r.Scheme.delivered then infinity
+    else if src = dst then 1.0
+    else if d = 0.0 || d = infinity then infinity
+    else cost /. d
+  in
+  { src; dst; delivered = r.Scheme.delivered; cost; hops; stretch }
+
+type aggregate = {
+  pairs : int;
+  delivered : int;
+  stretch_stats : Stats.summary;
+  cost_stats : Stats.summary;
+  stretches : float array;
+}
+
+let evaluate apsp scheme pairs =
+  let stretches = ref [] in
+  let costs = ref [] in
+  let delivered = ref 0 in
+  Array.iter
+    (fun (s, d) ->
+      let m = measure apsp scheme s d in
+      if m.delivered then begin
+        incr delivered;
+        stretches := m.stretch :: !stretches;
+        costs := m.cost :: !costs
+      end)
+    pairs;
+  let stretch_arr = Array.of_list !stretches in
+  let cost_arr = Array.of_list !costs in
+  {
+    pairs = Array.length pairs;
+    delivered = !delivered;
+    stretch_stats = (if Array.length stretch_arr = 0 then Stats.empty_summary else Stats.summarize stretch_arr);
+    cost_stats = (if Array.length cost_arr = 0 then Stats.empty_summary else Stats.summarize cost_arr);
+    stretches = stretch_arr;
+  }
+
+let sample_pairs rng apsp ~count =
+  let n = Graph.n (Apsp.graph apsp) in
+  if n < 2 then invalid_arg "Simulator.sample_pairs: n < 2";
+  let out = ref [] in
+  let found = ref 0 in
+  let guard = ref 0 in
+  while !found < count && !guard < 100 * count do
+    incr guard;
+    let s = Rng.int rng n and d = Rng.int rng n in
+    if s <> d && Apsp.distance apsp s d < infinity then begin
+      out := (s, d) :: !out;
+      incr found
+    end
+  done;
+  Array.of_list !out

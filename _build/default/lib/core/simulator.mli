@@ -1,0 +1,44 @@
+(** Walk validation and stretch measurement.
+
+    Schemes produce walks; this module is the referee: it checks that a
+    walk is realizable in the network (consecutive nodes adjacent, right
+    endpoints), prices it, and compares it to the true shortest-path
+    distance from the all-pairs ground truth. *)
+
+type measured = {
+  src : int;
+  dst : int;
+  delivered : bool;
+  cost : float;  (** total weight of the walk *)
+  hops : int;
+  stretch : float;  (** cost / d(src,dst); 1.0 for src = dst; infinite when undelivered *)
+}
+
+exception Invalid_walk of string
+(** Raised when a scheme emits a walk that is not realizable. *)
+
+val walk_cost : Cr_graph.Graph.t -> int list -> float * int
+(** Cost and hop count of a walk.
+    @raise Invalid_walk on a non-edge or an empty walk. *)
+
+val measure : Cr_graph.Apsp.t -> Scheme.t -> int -> int -> measured
+(** Routes [src → dst] through the scheme and validates/prices the result.
+    @raise Invalid_walk if the walk is malformed (wrong endpoints,
+    non-edges, or claimed delivery to the wrong node). *)
+
+type aggregate = {
+  pairs : int;
+  delivered : int;
+  stretch_stats : Cr_util.Stats.summary;  (** over delivered pairs *)
+  cost_stats : Cr_util.Stats.summary;
+  stretches : float array;  (** raw per-pair stretch values, delivered pairs *)
+}
+
+val evaluate : Cr_graph.Apsp.t -> Scheme.t -> (int * int) array -> aggregate
+(** Measures every pair and summarizes.  Undelivered pairs count in
+    [pairs] but not in the stretch statistics. *)
+
+val sample_pairs :
+  Cr_util.Rng.t -> Cr_graph.Apsp.t -> count:int -> (int * int) array
+(** Samples distinct connected [src ≠ dst] pairs uniformly (with
+    replacement across pairs). *)

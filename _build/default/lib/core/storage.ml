@@ -1,0 +1,51 @@
+type t = {
+  n : int;
+  per_node : int array;
+  per_cat : (string, int) Hashtbl.t;
+  per_node_cat : (string, int array) Hashtbl.t;
+}
+
+let create ~n =
+  { n; per_node = Array.make n 0; per_cat = Hashtbl.create 8; per_node_cat = Hashtbl.create 8 }
+
+let n t = t.n
+
+let add t ~node ~category ~bits =
+  if bits < 0 then invalid_arg "Storage.add: negative bits";
+  t.per_node.(node) <- t.per_node.(node) + bits;
+  Hashtbl.replace t.per_cat category
+    (bits + Option.value ~default:0 (Hashtbl.find_opt t.per_cat category));
+  let arr =
+    match Hashtbl.find_opt t.per_node_cat category with
+    | Some arr -> arr
+    | None ->
+        let arr = Array.make t.n 0 in
+        Hashtbl.replace t.per_node_cat category arr;
+        arr
+  in
+  arr.(node) <- arr.(node) + bits
+
+let node_bits t v = t.per_node.(v)
+
+let max_node_bits t = Array.fold_left max 0 t.per_node
+
+let mean_node_bits t =
+  if t.n = 0 then 0.0
+  else float_of_int (Array.fold_left ( + ) 0 t.per_node) /. float_of_int t.n
+
+let total_bits t = Array.fold_left ( + ) 0 t.per_node
+
+let categories t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.per_cat []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let node_categories t v =
+  Hashtbl.fold (fun k arr acc -> if arr.(v) > 0 then (k, arr.(v)) :: acc else acc) t.per_node_cat []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let merge_into ~dst src =
+  if dst.n <> src.n then invalid_arg "Storage.merge_into: size mismatch";
+  Hashtbl.iter
+    (fun cat arr ->
+      Array.iteri (fun node bits -> if bits > 0 then add dst ~node ~category:cat ~bits) arr)
+    src.per_node_cat

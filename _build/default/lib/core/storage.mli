@@ -1,0 +1,34 @@
+(** Per-node routing-table storage accounting, in bits, by category.
+
+    Every scheme charges each datum it would store at a node through
+    {!add}; the evaluation then reads per-node totals (the paper's bounds
+    are per-node) and per-category breakdowns (used by the ablation
+    experiments). *)
+
+type t
+
+val create : n:int -> t
+
+val n : t -> int
+
+val add : t -> node:int -> category:string -> bits:int -> unit
+(** Accumulates [bits] at a node under a category.  Negative amounts are
+    rejected. *)
+
+val node_bits : t -> int -> int
+(** Total bits stored at one node. *)
+
+val max_node_bits : t -> int
+(** Largest per-node table — the quantity Theorem 1 bounds. *)
+
+val mean_node_bits : t -> float
+
+val total_bits : t -> int
+
+val categories : t -> (string * int) list
+(** Total bits per category, sorted by name. *)
+
+val node_categories : t -> int -> (string * int) list
+
+val merge_into : dst:t -> t -> unit
+(** Adds every count of the source into [dst] (same [n] required). *)

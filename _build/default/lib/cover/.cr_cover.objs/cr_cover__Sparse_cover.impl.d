@@ -1,0 +1,1 @@
+lib/cover/sparse_cover.ml: Array Cr_graph Cr_tree Cr_util Hashtbl List

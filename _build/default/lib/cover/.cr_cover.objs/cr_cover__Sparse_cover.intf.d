@@ -1,0 +1,1 @@
+lib/cover/sparse_cover.mli: Cr_graph Cr_tree

@@ -1,0 +1,1 @@
+lib/digraph/ddijkstra.ml: Array Cr_graph Digraph List

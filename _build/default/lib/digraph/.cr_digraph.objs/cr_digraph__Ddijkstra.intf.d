@@ -1,0 +1,1 @@
+lib/digraph/ddijkstra.mli: Digraph

@@ -1,0 +1,1 @@
+lib/digraph/dgen.ml: Array Cr_graph Cr_util Digraph

@@ -1,0 +1,1 @@
+lib/digraph/dgen.mli: Cr_graph Cr_util Digraph

@@ -1,0 +1,1 @@
+lib/digraph/digraph.ml: Array Cr_graph Cr_util Hashtbl List

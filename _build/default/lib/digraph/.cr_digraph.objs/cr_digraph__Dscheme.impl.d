@@ -1,0 +1,1 @@
+lib/digraph/dscheme.ml: Array Cr_landmark Cr_util Ddijkstra Digraph Float Hashtbl Int64 List Rt

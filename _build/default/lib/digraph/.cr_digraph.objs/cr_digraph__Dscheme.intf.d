@@ -1,0 +1,1 @@
+lib/digraph/dscheme.mli: Rt

@@ -1,0 +1,1 @@
+lib/digraph/dsim.ml: Digraph Dscheme List Printf Rt

@@ -1,0 +1,1 @@
+lib/digraph/dsim.mli: Digraph Dscheme Rt

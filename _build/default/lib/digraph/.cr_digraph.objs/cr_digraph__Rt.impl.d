@@ -1,0 +1,1 @@
+lib/digraph/rt.ml: Array Ddijkstra Digraph List

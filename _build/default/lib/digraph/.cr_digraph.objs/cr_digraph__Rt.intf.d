@@ -1,0 +1,1 @@
+lib/digraph/rt.mli: Ddijkstra Digraph

@@ -1,0 +1,1 @@
+lib/digraph/scc.ml: Array Digraph Stack

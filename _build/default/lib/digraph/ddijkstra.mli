@@ -1,0 +1,26 @@
+(** Directed single-source shortest paths.
+
+    [run] explores forward (out-arcs): [dist.(v) = d(s, v)].
+    [run_reverse] explores the transpose: [dist.(v) = d(v, s)] — the
+    distances {e toward} the source, whose parent pointers form an
+    in-tree whose root-to-leaf paths are legal directed walks into [s]. *)
+
+type result = {
+  source : int;
+  dist : float array;
+  parent : int array;  (** predecessor in the search tree; -1 at source *)
+}
+
+val run : Digraph.t -> int -> result
+
+val run_reverse : Digraph.t -> int -> result
+(** [dist.(v) = d(v, source)]; [parent.(v)] is the {e next} node on a
+    shortest directed walk from [v] to the source. *)
+
+val path_from_source : result -> int -> int list
+(** For a forward result: the directed walk source → target.
+    @raise Not_found if unreachable. *)
+
+val path_to_source : result -> int -> int list
+(** For a reverse result: the directed walk target-argument → source.
+    @raise Not_found if unreachable. *)

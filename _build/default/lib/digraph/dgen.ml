@@ -1,0 +1,43 @@
+module Rng = Cr_util.Rng
+
+let directed_ring rng ~n ~chords =
+  if n < 2 then invalid_arg "directed_ring: n < 2";
+  let arcs = ref [] in
+  for u = 0 to n - 1 do
+    arcs := (u, (u + 1) mod n, 1.0) :: !arcs
+  done;
+  let added = ref 0 and guard = ref 0 in
+  while !added < chords && !guard < 100 * (chords + 1) do
+    incr guard;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && (u + 1) mod n <> v then begin
+      arcs := (u, v, 1.0) :: !arcs;
+      incr added
+    end
+  done;
+  Digraph.create ~n !arcs
+
+let directed_erdos_renyi rng ~n ~avg_out_degree =
+  if n < 2 then invalid_arg "directed_erdos_renyi: n < 2";
+  let p = avg_out_degree /. float_of_int (n - 1) in
+  let arcs = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Rng.bernoulli rng p then arcs := (u, v, 1.0 +. Rng.float rng 1.0) :: !arcs
+    done
+  done;
+  (* strong-connectivity backbone *)
+  for u = 0 to n - 1 do
+    arcs := (u, (u + 1) mod n, 1.5) :: !arcs
+  done;
+  Digraph.create ~n !arcs
+
+let asymmetric_of_graph rng ug ~skew =
+  if skew < 1.0 then invalid_arg "asymmetric_of_graph: skew < 1";
+  let arcs = ref [] in
+  Cr_graph.Graph.iter_edges ug (fun u v w ->
+      let f = 1.0 +. Rng.float rng (skew -. 1.0) in
+      arcs := (u, v, w *. f) :: (v, u, w /. f) :: !arcs);
+  Digraph.create
+    ~names:(Array.init (Cr_graph.Graph.n ug) (Cr_graph.Graph.name_of ug))
+    ~n:(Cr_graph.Graph.n ug) !arcs

@@ -1,0 +1,14 @@
+(** Directed workload generators.  All results are strongly connected. *)
+
+val directed_ring : Cr_util.Rng.t -> n:int -> chords:int -> Digraph.t
+(** One-way ring plus random one-way chords of weight 1 — the minimal
+    strongly connected network with badly asymmetric distances. *)
+
+val directed_erdos_renyi : Cr_util.Rng.t -> n:int -> avg_out_degree:float -> Digraph.t
+(** Random arcs with i.i.d. weights in [\[1, 2\]]; a one-way ring is added
+    to guarantee strong connectivity. *)
+
+val asymmetric_of_graph : Cr_util.Rng.t -> Cr_graph.Graph.t -> skew:float -> Digraph.t
+(** Turns each undirected edge [{u,v}] of weight [w] into two opposite
+    arcs with weights [w·f] and [w/f], [f] uniform in [\[1, skew\]] —
+    symmetric topology, asymmetric costs. *)

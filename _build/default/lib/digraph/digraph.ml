@@ -1,0 +1,103 @@
+type t = {
+  n : int;
+  m : int;
+  out_adj : (int * float) array array;
+  in_adj : (int * float) array array;
+  names : int array;
+}
+
+let create ?names ~n arcs =
+  if n < 0 then invalid_arg "Digraph.create: negative n";
+  let names =
+    match names with
+    | None -> Array.init n (fun i -> i)
+    | Some a ->
+        if Array.length a <> n then invalid_arg "Digraph.create: names length mismatch";
+        Array.copy a
+  in
+  let tbl = Hashtbl.create (2 * List.length arcs) in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Digraph.create: node out of range";
+      if u = v then invalid_arg "Digraph.create: self-loop";
+      if not (w > 0.0) then invalid_arg "Digraph.create: non-positive weight";
+      match Hashtbl.find_opt tbl (u, v) with
+      | Some w' when w' <= w -> ()
+      | _ -> Hashtbl.replace tbl (u, v) w)
+    arcs;
+  let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
+  Hashtbl.iter
+    (fun (u, v) _ ->
+      out_deg.(u) <- out_deg.(u) + 1;
+      in_deg.(v) <- in_deg.(v) + 1)
+    tbl;
+  let out_adj = Array.init n (fun u -> Array.make out_deg.(u) (0, 0.0)) in
+  let in_adj = Array.init n (fun v -> Array.make in_deg.(v) (0, 0.0)) in
+  let of_ = Array.make n 0 and if_ = Array.make n 0 in
+  Hashtbl.iter
+    (fun (u, v) w ->
+      out_adj.(u).(of_.(u)) <- (v, w);
+      of_.(u) <- of_.(u) + 1;
+      in_adj.(v).(if_.(v)) <- (u, w);
+      if_.(v) <- if_.(v) + 1)
+    tbl;
+  let sort = Array.sort (fun (a, _) (b, _) -> compare a b) in
+  Array.iter sort out_adj;
+  Array.iter sort in_adj;
+  { n; m = Hashtbl.length tbl; out_adj; in_adj; names }
+
+let n g = g.n
+
+let m g = g.m
+
+let out_neighbors g u = g.out_adj.(u)
+
+let in_neighbors g v = g.in_adj.(v)
+
+let out_degree g u = Array.length g.out_adj.(u)
+
+let arc_weight g u v =
+  let a = g.out_adj.(u) in
+  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  let res = ref None in
+  while !res = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x, w = a.(mid) in
+    if x = v then res := Some w else if x < v then lo := mid + 1 else hi := mid - 1
+  done;
+  !res
+
+let has_arc g u v = arc_weight g u v <> None
+
+let name_of g u = g.names.(u)
+
+let reverse g =
+  { g with out_adj = g.in_adj; in_adj = g.out_adj }
+
+let of_graph ug =
+  let arcs = ref [] in
+  Cr_graph.Graph.iter_edges ug (fun u v w ->
+      arcs := (u, v, w) :: (v, u, w) :: !arcs);
+  create
+    ~names:(Array.init (Cr_graph.Graph.n ug) (Cr_graph.Graph.name_of ug))
+    ~n:(Cr_graph.Graph.n ug) !arcs
+
+let relabel rng g =
+  let space = max 16 (16 * g.n) in
+  let fresh = Cr_util.Rng.sample_without_replacement rng g.n space in
+  { g with names = fresh }
+
+let fold_weights f init g =
+  let acc = ref init in
+  Array.iter (fun a -> Array.iter (fun (_, w) -> acc := f !acc w) a) g.out_adj;
+  !acc
+
+let min_weight g = fold_weights min infinity g
+
+let normalize g =
+  let wmin = min_weight g in
+  if g.m = 0 || wmin = 1.0 then g
+  else begin
+    let scale arr = Array.map (Array.map (fun (v, w) -> (v, w /. wmin))) arr in
+    { g with out_adj = scale g.out_adj; in_adj = scale g.in_adj }
+  end

@@ -1,0 +1,47 @@
+(** Weighted directed graphs — the substrate for the paper's announced
+    extension to strongly connected digraphs (§4: "Our routing scheme can
+    be adopted to work on strongly connected directed graphs").
+
+    Arcs are stored in both out- and in-adjacency (sorted by endpoint);
+    the position of an arc in the out-adjacency of its tail is its port,
+    matching the local-forwarding model. *)
+
+type t
+
+val create : ?names:int array -> n:int -> (int * int * float) list -> t
+(** [create ~n arcs] builds a digraph from (tail, head, weight) arcs.
+    Parallel arcs keep the minimum weight; self-loops are rejected;
+    weights must be positive.
+    @raise Invalid_argument on malformed input. *)
+
+val n : t -> int
+
+val m : t -> int
+(** Number of arcs. *)
+
+val out_neighbors : t -> int -> (int * float) array
+
+val in_neighbors : t -> int -> (int * float) array
+
+val out_degree : t -> int -> int
+
+val arc_weight : t -> int -> int -> float option
+(** Weight of the arc [u → v], if present. *)
+
+val has_arc : t -> int -> int -> bool
+
+val name_of : t -> int -> int
+
+val reverse : t -> t
+(** The transpose digraph (arcs flipped), sharing names. *)
+
+val of_graph : Cr_graph.Graph.t -> t
+(** Every undirected edge becomes two opposite arcs of equal weight. *)
+
+val relabel : Cr_util.Rng.t -> t -> t
+(** Fresh random distinct identifiers (the name-independent model). *)
+
+val normalize : t -> t
+(** Rescale weights so the minimum arc weight is 1. *)
+
+val min_weight : t -> float

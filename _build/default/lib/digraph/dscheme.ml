@@ -1,0 +1,279 @@
+module Bits = Cr_util.Bits
+module Landmarks = Cr_landmark.Landmarks
+
+type route = { walk : int list; delivered : bool; phases_used : int }
+
+(* A phase center's structures: shortest-path in/out arborescences plus a
+   hash directory of the member identifiers, distributed over members. *)
+type center = {
+  fwd : Ddijkstra.result; (* out-tree: paths center -> x *)
+  bwd : Ddijkstra.result; (* in-tree: paths x -> center *)
+  members : int array; (* sorted; directory slots are positions here *)
+  dir : (int, int) Hashtbl.t array; (* slot -> (ident -> node) *)
+  touched : int array; (* members plus relay nodes on their tree paths *)
+}
+
+type t = {
+  rt : Rt.t;
+  k : int;
+  plans : int array array; (* plans.(u).(i) = center of phase i *)
+  complete : bool array array; (* whether E(u,i) is fully registered *)
+  centers : (int, center) Hashtbl.t;
+  global_center : int;
+  storage : int array;
+  mutable fallback : int;
+}
+
+let slot_of ident m =
+  let z = Int64.of_int (ident + 0x51CC) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.shift_right_logical z 8) mod m
+
+let build_center g rt c member_set =
+  let members =
+    let acc = ref [] in
+    Hashtbl.iter (fun v () -> acc := v :: !acc) member_set;
+    let a = Array.of_list !acc in
+    Array.sort compare a;
+    a
+  in
+  ignore rt;
+  let fwd = Ddijkstra.run g c in
+  let bwd = Ddijkstra.run_reverse g c in
+  let m = max 1 (Array.length members) in
+  let dir = Array.init m (fun _ -> Hashtbl.create 2) in
+  Array.iter
+    (fun v ->
+      let ident = Digraph.name_of g v in
+      Hashtbl.replace dir.(slot_of ident m) ident v)
+    members;
+  (* relay nodes: everything lying on a member's in/out tree path *)
+  let touched_set = Hashtbl.create (2 * Array.length members) in
+  let mark_up parent v =
+    let rec go x = if x >= 0 && not (Hashtbl.mem touched_set x) then begin
+        Hashtbl.replace touched_set x ();
+        go parent.(x)
+      end
+      else if x >= 0 && Hashtbl.mem touched_set x then ()
+    in
+    go v
+  in
+  Array.iter
+    (fun v ->
+      mark_up fwd.Ddijkstra.parent v;
+      mark_up bwd.Ddijkstra.parent v)
+    members;
+  Hashtbl.replace touched_set c ();
+  let touched = Array.of_seq (Hashtbl.to_seq_keys touched_set) in
+  Array.sort compare touched;
+  { fwd; bwd; members; dir; touched }
+
+let build ?(k = 3) ?(seed = 1) ?landmark_cap rt =
+  if k < 1 then invalid_arg "Dscheme.build: k < 1";
+  if not (Rt.strongly_connected rt) then
+    invalid_arg "Dscheme.build: digraph must be strongly connected";
+  let g = Rt.digraph rt in
+  let n = Digraph.n g in
+  let cap =
+    match landmark_cap with
+    | Some c -> max 1 (min n c)
+    | None -> max 1 (min n (Bits.ceil_pow (float_of_int (max 2 n)) (2.0 /. float_of_int k)))
+  in
+  let kappa = float_of_int (max 2 (Bits.ceil_pow (float_of_int (max 2 n)) (1.0 /. float_of_int k))) in
+  let lm = Landmarks.build ~seed ~n ~k in
+  let log_delta =
+    max 0 (int_of_float (Float.ceil (Float.log (Float.max 1.0 (Rt.rt_diameter rt)) /. Float.log 2.0)))
+  in
+  (* ranges a(u,i) over round-trip balls *)
+  let a = Array.make_matrix n (k + 1) 0 in
+  for u = 0 to n - 1 do
+    for i = 0 to k - 1 do
+      let base = Rt.rt_ball_size rt u (2.0 ** float_of_int a.(u).(i)) in
+      let target = kappa *. float_of_int base in
+      let rec find j =
+        if j > log_delta then log_delta
+        else if float_of_int (Rt.rt_ball_size rt u (2.0 ** float_of_int j)) >= target then j
+        else find (j + 1)
+      in
+      a.(u).(i + 1) <- find 1
+    done
+  done;
+  (* nearby landmark sets S(u,i) over the RT metric, inverted into
+     member sets per center *)
+  let member_sets : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  let member_set c =
+    match Hashtbl.find_opt member_sets c with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 16 in
+        Hashtbl.replace member_sets c s;
+        s
+  in
+  let s_of = Array.make n [||] in
+  for u = 0 to n - 1 do
+    let tbl = Hashtbl.create (k * cap) in
+    for i = 0 to k - 1 do
+      Array.iter
+        (fun v -> Hashtbl.replace tbl v ())
+        (Rt.rt_closest_in rt u cap (fun v -> Landmarks.in_level lm v i))
+    done;
+    let arr = Array.of_seq (Hashtbl.to_seq_keys tbl) in
+    Array.sort compare arr;
+    s_of.(u) <- arr;
+    Array.iter (fun c -> Hashtbl.replace (member_set c) u ()) arr
+  done;
+  (* phase centers: closest highest-rank landmark inside the RT ball *)
+  let plans = Array.make_matrix n k (-1) in
+  for u = 0 to n - 1 do
+    for i = 0 to k - 1 do
+      let radius = if i = 0 then 0.0 else 2.0 ** float_of_int a.(u).(i) in
+      let ball = Rt.rt_ball rt u radius in
+      let m = Landmarks.highest_rank_in lm ball in
+      let c =
+        if m < 0 then u
+        else begin
+          let found = Rt.rt_closest_in rt u 1 (fun v -> Landmarks.rank lm v >= m && Rt.rt rt u v <= radius) in
+          if Array.length found > 0 then found.(0) else u
+        end
+      in
+      plans.(u).(i) <- c;
+      Hashtbl.replace (member_set c) u () (* the source must be in its center's trees *)
+    done
+  done;
+  (* global fallback center: a top-rank landmark; spans everything *)
+  let top = ref 0 in
+  for v = 0 to n - 1 do
+    if Landmarks.rank lm v > Landmarks.rank lm !top then top := v
+  done;
+  let global_center = !top in
+  let all = member_set global_center in
+  for v = 0 to n - 1 do
+    Hashtbl.replace all v ()
+  done;
+  (* build structures for every center in use *)
+  let centers = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun c s -> Hashtbl.replace centers c (build_center g rt c s))
+    member_sets;
+  (* completeness of phase coverage: E(u,i) = BRT(u, 2^{a(u,i+1)}/6)
+     fully registered at the phase center? *)
+  let complete = Array.make_matrix n k false in
+  for u = 0 to n - 1 do
+    for i = 0 to k - 1 do
+      let c = plans.(u).(i) in
+      let ctr = Hashtbl.find centers c in
+      let in_members v =
+        (* members is sorted *)
+        let lo = ref 0 and hi = ref (Array.length ctr.members - 1) in
+        let found = ref false in
+        while (not !found) && !lo <= !hi do
+          let mid = (!lo + !hi) / 2 in
+          if ctr.members.(mid) = v then found := true
+          else if ctr.members.(mid) < v then lo := mid + 1
+          else hi := mid - 1
+        done;
+        !found
+      in
+      let e = Rt.rt_ball rt u (2.0 ** float_of_int a.(u).(i + 1) /. 6.0) in
+      complete.(u).(i) <- Array.for_all in_members e
+    done
+  done;
+  (* ---- storage accounting ---- *)
+  let idb = Bits.id_bits ~n in
+  let storage = Array.make n 0 in
+  Hashtbl.iter
+    (fun _c (ctr : center) ->
+      (* forwarding state: parent pointers in both arborescences, charged
+         to every node the trees pass through (members and relays) *)
+      Array.iter (fun v -> storage.(v) <- storage.(v) + (2 * idb)) ctr.touched;
+      (* directory entries, charged to the slot owner *)
+      Array.iteri
+        (fun pos v -> storage.(v) <- storage.(v) + (Hashtbl.length ctr.dir.(pos) * 3 * idb))
+        ctr.members)
+    centers;
+  for u = 0 to n - 1 do
+    storage.(u) <- storage.(u) + ((k + 1) * Bits.range_bits) + (k * idb) + idb
+  done;
+  { rt; k; plans; complete; centers; global_center; storage; fallback = 0 }
+
+(* directed tree walks *)
+let out_path ctr x = Ddijkstra.path_from_source ctr.fwd x (* center -> x *)
+
+let in_path ctr x = Ddijkstra.path_to_source ctr.bwd x (* x -> center *)
+
+let append walk_rev = function
+  | [] -> walk_rev
+  | _first :: rest -> List.rev_append rest walk_rev
+
+let search_center ctr walk_rev ident =
+  (* at the center: go to the directory slot, look up, return via center *)
+  let m = Array.length ctr.members in
+  if m = 0 then (walk_rev, None)
+  else begin
+    let d = ctr.members.(slot_of ident m) in
+    let walk_rev = append walk_rev (out_path ctr d) in
+    let hit = Hashtbl.find_opt ctr.dir.(slot_of ident m) ident in
+    let walk_rev = append walk_rev (in_path ctr d) in
+    match hit with
+    | Some v ->
+        let walk_rev = append walk_rev (out_path ctr v) in
+        (walk_rev, Some v)
+    | None -> (walk_rev, None)
+  end
+
+let route t src dst =
+  let g = Rt.digraph t.rt in
+  let ident = Digraph.name_of g dst in
+  if src = dst then { walk = [ src ]; delivered = true; phases_used = 0 }
+  else begin
+    let rec phase i walk_rev current =
+      (* invariant: current = src (we always return to the source between
+         phases) *)
+      if i >= t.k then global walk_rev
+      else begin
+        let c = t.plans.(src).(i) in
+        let ctr = Hashtbl.find t.centers c in
+        let walk_rev = append walk_rev (in_path ctr current) in
+        let walk_rev, found = search_center ctr walk_rev ident in
+        match found with
+        | Some _ -> { walk = List.rev walk_rev; delivered = true; phases_used = i + 1 }
+        | None ->
+            let walk_rev = append walk_rev (out_path ctr src) in
+            phase (i + 1) walk_rev src
+      end
+    and global walk_rev =
+      let ctr = Hashtbl.find t.centers t.global_center in
+      let walk_rev = append walk_rev (in_path ctr src) in
+      let walk_rev, found = search_center ctr walk_rev ident in
+      match found with
+      | Some _ ->
+          t.fallback <- t.fallback + 1;
+          { walk = List.rev walk_rev; delivered = true; phases_used = t.k + 1 }
+      | None ->
+          let walk_rev = append walk_rev (out_path ctr src) in
+          { walk = List.rev walk_rev; delivered = false; phases_used = t.k + 1 }
+    in
+    phase 0 [ src ] src
+  end
+
+let node_storage_bits t v = t.storage.(v)
+
+let max_storage_bits t = Array.fold_left max 0 t.storage
+
+let mean_storage_bits t =
+  float_of_int (Array.fold_left ( + ) 0 t.storage) /. float_of_int (Array.length t.storage)
+
+let stats_fallback t = t.fallback
+
+let phase_coverage t =
+  let total = ref 0 and ok = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun c ->
+          incr total;
+          if c then incr ok)
+        row)
+    t.complete;
+  if !total = 0 then 1.0 else float_of_int !ok /. float_of_int !total

@@ -1,0 +1,45 @@
+exception Invalid_walk of string
+
+let walk_cost g walk =
+  match walk with
+  | [] -> raise (Invalid_walk "empty walk")
+  | _ ->
+      let rec go cost hops = function
+        | a :: (b :: _ as rest) -> (
+            match Digraph.arc_weight g a b with
+            | Some w -> go (cost +. w) (hops + 1) rest
+            | None -> raise (Invalid_walk (Printf.sprintf "missing arc %d->%d" a b)))
+        | _ -> (cost, hops)
+      in
+      go 0.0 0 walk
+
+type measured = {
+  delivered : bool;
+  cost : float;
+  hops : int;
+  stretch : float;
+  rt_stretch : float;
+}
+
+let measure rt scheme src dst =
+  let g = Rt.digraph rt in
+  let r = Dscheme.route scheme src dst in
+  (match r.Dscheme.walk with
+  | first :: _ when first = src -> ()
+  | _ -> raise (Invalid_walk "walk does not start at the source"));
+  if r.Dscheme.delivered then begin
+    match List.rev r.Dscheme.walk with
+    | last :: _ when last = dst -> ()
+    | _ -> raise (Invalid_walk "claimed delivery but wrong endpoint")
+  end;
+  let cost, hops = walk_cost g r.Dscheme.walk in
+  let d = Rt.dist rt src dst in
+  let drt = Rt.rt rt src dst in
+  let ratio denom = if (not r.Dscheme.delivered) || src = dst then 1.0 else cost /. denom in
+  {
+    delivered = r.Dscheme.delivered;
+    cost;
+    hops;
+    stretch = (if r.Dscheme.delivered then ratio d else infinity);
+    rt_stretch = (if r.Dscheme.delivered then ratio drt else infinity);
+  }

@@ -1,0 +1,18 @@
+(** Directed walk validation and measurement (the digraph referee). *)
+
+exception Invalid_walk of string
+
+val walk_cost : Digraph.t -> int list -> float * int
+(** Cost and hop count; every consecutive pair must be an arc in walk
+    order.  @raise Invalid_walk otherwise. *)
+
+type measured = {
+  delivered : bool;
+  cost : float;
+  hops : int;
+  stretch : float;  (** vs the one-way distance d(src, dst) *)
+  rt_stretch : float;  (** vs the round-trip distance dRT(src, dst) *)
+}
+
+val measure : Rt.t -> Dscheme.t -> int -> int -> measured
+(** Routes and validates; checks endpoint correctness on delivery. *)

@@ -1,0 +1,80 @@
+type t = {
+  g : Digraph.t;
+  fwd : Ddijkstra.result array;
+  sorted : (int * float) array option array;
+}
+
+let compute g =
+  let n = Digraph.n g in
+  { g; fwd = Array.init n (fun s -> Ddijkstra.run g s); sorted = Array.make n None }
+
+let digraph t = t.g
+
+let dist t u v = t.fwd.(u).Ddijkstra.dist.(v)
+
+let rt t u v = dist t u v +. dist t v u
+
+let forward t u = t.fwd.(u)
+
+let rt_sorted t u =
+  match t.sorted.(u) with
+  | Some s -> s
+  | None ->
+      let n = Digraph.n t.g in
+      let acc = ref [] in
+      for v = n - 1 downto 0 do
+        let d = rt t u v in
+        if d < infinity then acc := (v, d) :: !acc
+      done;
+      let s = Array.of_list !acc in
+      Array.sort (fun (v1, d1) (v2, d2) -> if d1 <> d2 then compare d1 d2 else compare v1 v2) s;
+      t.sorted.(u) <- Some s;
+      s
+
+let count_le sorted r =
+  let lo = ref (-1) and hi = ref (Array.length sorted) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if snd sorted.(mid) <= r then lo := mid else hi := mid
+  done;
+  !lo + 1
+
+let rt_ball t u r =
+  let s = rt_sorted t u in
+  Array.init (count_le s r) (fun i -> fst s.(i))
+
+let rt_ball_size t u r = count_le (rt_sorted t u) r
+
+let rt_closest_in t u m pred =
+  let s = rt_sorted t u in
+  let out = ref [] and found = ref 0 and i = ref 0 in
+  while !found < m && !i < Array.length s do
+    let v, _ = s.(!i) in
+    if pred v then begin
+      out := v :: !out;
+      incr found
+    end;
+    incr i
+  done;
+  Array.of_list (List.rev !out)
+
+let rt_diameter t =
+  let n = Digraph.n t.g in
+  let best = ref 0.0 in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = rt t u v in
+      if d < infinity && d > !best then best := d
+    done
+  done;
+  !best
+
+let strongly_connected t =
+  let n = Digraph.n t.g in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if t.fwd.(u).Ddijkstra.dist.(v) = infinity then ok := false
+    done
+  done;
+  !ok

@@ -1,0 +1,41 @@
+(** All-pairs directed distances and the round-trip metric.
+
+    The standard route to adapting symmetric routing machinery to
+    strongly connected digraphs (as the paper's §4 announces) is the
+    {e round-trip} metric [dRT(u,v) = d(u,v) + d(v,u)]: it is symmetric,
+    satisfies the triangle inequality, and upper-bounds both one-way
+    distances, so balls, landmarks and decompositions transfer
+    unchanged. *)
+
+type t
+
+val compute : Digraph.t -> t
+(** [n] forward Dijkstras. *)
+
+val digraph : t -> Digraph.t
+
+val dist : t -> int -> int -> float
+(** One-way [d(u,v)]. *)
+
+val rt : t -> int -> int -> float
+(** [dRT(u,v)]; infinite unless both directions connect. *)
+
+val forward : t -> int -> Ddijkstra.result
+(** The stored forward search from a node. *)
+
+val rt_sorted : t -> int -> (int * float) array
+(** Nodes by (round-trip distance from [u], id), mutually reachable ones
+    only; cached. *)
+
+val rt_ball : t -> int -> float -> int array
+(** Members of the round-trip ball [BRT(u, r)], in order. *)
+
+val rt_ball_size : t -> int -> float -> int
+
+val rt_closest_in : t -> int -> int -> (int -> bool) -> int array
+(** Up to [m] round-trip-closest nodes satisfying the predicate. *)
+
+val rt_diameter : t -> float
+(** Largest finite round-trip distance. *)
+
+val strongly_connected : t -> bool

@@ -1,0 +1,81 @@
+(* Iterative Tarjan to survive deep graphs. *)
+let components g =
+  let n = Digraph.n g in
+  let index = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  (* explicit DFS frames: (node, next out-neighbor position) *)
+  let frames = Stack.create () in
+  for s = 0 to n - 1 do
+    if index.(s) < 0 then begin
+      Stack.push (s, ref 0) frames;
+      index.(s) <- !next_index;
+      low.(s) <- !next_index;
+      incr next_index;
+      Stack.push s stack;
+      on_stack.(s) <- true;
+      while not (Stack.is_empty frames) do
+        let v, pos = Stack.top frames in
+        let out = Digraph.out_neighbors g v in
+        if !pos < Array.length out then begin
+          let w, _ = out.(!pos) in
+          incr pos;
+          if index.(w) < 0 then begin
+            index.(w) <- !next_index;
+            low.(w) <- !next_index;
+            incr next_index;
+            Stack.push w stack;
+            on_stack.(w) <- true;
+            Stack.push (w, ref 0) frames
+          end
+          else if on_stack.(w) then low.(v) <- min low.(v) index.(w)
+        end
+        else begin
+          ignore (Stack.pop frames);
+          if not (Stack.is_empty frames) then begin
+            let p, _ = Stack.top frames in
+            low.(p) <- min low.(p) low.(v)
+          end;
+          if low.(v) = index.(v) then begin
+            let continue = ref true in
+            while !continue do
+              let w = Stack.pop stack in
+              on_stack.(w) <- false;
+              comp.(w) <- !next_comp;
+              if w = v then continue := false
+            done;
+            incr next_comp
+          end
+        end
+      done
+    end
+  done;
+  comp
+
+let count g =
+  let comp = components g in
+  1 + Array.fold_left max (-1) comp
+
+let is_strongly_connected g = Digraph.n g = 0 || count g = 1
+
+let largest g =
+  let comp = components g in
+  let k = 1 + Array.fold_left max (-1) comp in
+  if k <= 0 then [||]
+  else begin
+    let sizes = Array.make k 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+    let best = ref 0 in
+    for c = 1 to k - 1 do
+      if sizes.(c) > sizes.(!best) then best := c
+    done;
+    let acc = ref [] in
+    for v = Array.length comp - 1 downto 0 do
+      if comp.(v) = !best then acc := v :: !acc
+    done;
+    Array.of_list !acc
+  end

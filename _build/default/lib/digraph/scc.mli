@@ -1,0 +1,12 @@
+(** Strongly connected components (Tarjan). *)
+
+val components : Digraph.t -> int array
+(** Maps each node to an SCC id; ids are assigned in reverse topological
+    order of the condensation (Tarjan's completion order). *)
+
+val count : Digraph.t -> int
+
+val is_strongly_connected : Digraph.t -> bool
+
+val largest : Digraph.t -> int array
+(** Node set of a largest SCC, ascending. *)

@@ -1,0 +1,1 @@
+lib/graph/component.ml: Array Graph Stack

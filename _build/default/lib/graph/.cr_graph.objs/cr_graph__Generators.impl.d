@@ -1,0 +1,1 @@
+lib/graph/generators.ml: Array Component Cr_util Float Graph Hashtbl List Unionfind

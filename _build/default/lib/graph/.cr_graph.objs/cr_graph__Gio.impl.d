@@ -1,0 +1,1 @@
+lib/graph/gio.ml: Array Buffer Fun Graph List Printf String

@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Cr_util Hashtbl List

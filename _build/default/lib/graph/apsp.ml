@@ -1,0 +1,83 @@
+type t = {
+  graph : Graph.t;
+  results : Dijkstra.result array;
+  balls : Ball.t option array;
+}
+
+let compute g =
+  let n = Graph.n g in
+  {
+    graph = g;
+    results = Array.init n (fun s -> Dijkstra.run g s);
+    balls = Array.make n None;
+  }
+
+let compute_parallel ?domains g =
+  let n = Graph.n g in
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> min 8 (Domain.recommended_domain_count ())
+  in
+  if domains <= 1 || n < 2 * domains then compute g
+  else begin
+    (* one placeholder result; every slot is overwritten below *)
+    let results = Array.make n (Dijkstra.run g 0) in
+    let next = Atomic.make 0 in
+    let chunk = 16 in
+    let worker () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < n then begin
+          let stop = min n (start + chunk) in
+          for s = start to stop - 1 do
+            results.(s) <- Dijkstra.run g s
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    { graph = g; results; balls = Array.make n None }
+  end
+
+let graph t = t.graph
+
+let distance t u v = t.results.(u).dist.(v)
+
+let sssp t u = t.results.(u)
+
+let ball t u =
+  match t.balls.(u) with
+  | Some b -> b
+  | None ->
+      let b = Ball.of_dijkstra t.results.(u) in
+      t.balls.(u) <- Some b;
+      b
+
+let fold_pairs f init t =
+  let n = Graph.n t.graph in
+  let acc = ref init in
+  for u = 0 to n - 1 do
+    let dist = t.results.(u).dist in
+    for v = u + 1 to n - 1 do
+      acc := f !acc dist.(v)
+    done
+  done;
+  !acc
+
+let aspect_ratio t =
+  let mx, mn =
+    fold_pairs
+      (fun (mx, mn) d -> if d < infinity then (max mx d, min mn d) else (mx, mn))
+      (0.0, infinity) t
+  in
+  if mn = infinity || mn <= 0.0 then nan else mx /. mn
+
+let diameter t =
+  fold_pairs (fun acc d -> if d < infinity then max acc d else acc) 0.0 t
+
+let connected t = fold_pairs (fun acc d -> acc && d < infinity) true t

@@ -1,0 +1,38 @@
+(** All-pairs shortest paths, via one Dijkstra per node.
+
+    Preprocessing for scheme construction and ground truth for stretch
+    measurement.  Memory is O(n²) floats, fine for the simulation sizes
+    used in the evaluation (n ≤ a few thousand). *)
+
+type t
+
+val compute : Graph.t -> t
+(** Runs [n] Dijkstras sequentially. *)
+
+val compute_parallel : ?domains:int -> Graph.t -> t
+(** Same result, with the sources partitioned across OCaml 5 domains
+    ([domains] defaults to [Domain.recommended_domain_count ()], capped
+    at 8).  Each Dijkstra only reads the (immutable) graph, so the
+    sources are embarrassingly parallel; results are written to disjoint
+    slices.  Falls back to the sequential path when [domains <= 1]. *)
+
+val graph : t -> Graph.t
+
+val distance : t -> int -> int -> float
+(** d(u, v); [infinity] if disconnected. *)
+
+val sssp : t -> int -> Dijkstra.result
+(** The stored single-source result for a node. *)
+
+val ball : t -> int -> Ball.t
+(** Ball index of a node (built lazily, cached). *)
+
+val aspect_ratio : t -> float
+(** Δ = max d(u,v) / min d(u,v) over connected pairs with u ≠ v;
+    [nan] if there are no such pairs. *)
+
+val diameter : t -> float
+(** Largest finite pairwise distance. *)
+
+val connected : t -> bool
+(** Whether all pairs are at finite distance. *)

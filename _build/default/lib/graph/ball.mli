@@ -1,0 +1,47 @@
+(** Ball and nearest-neighbor queries around one source node.
+
+    Implements the paper's primitives (§2.1):
+    - [B(u, r)]: the set of nodes at distance at most [r] from [u];
+    - [N(u, m, Z)]: the [m] nodes of [Z] closest to [u], ties broken
+      lexicographically by node index.
+
+    Built once from a Dijkstra result; all queries are then
+    O(log n) (sizes) or O(answer) (enumerations). *)
+
+type t
+
+val of_dijkstra : Dijkstra.result -> t
+(** Index the distances of one source.  Unreachable nodes are excluded
+    from every ball. *)
+
+val source : t -> int
+
+val reachable : t -> int
+(** Number of nodes at finite distance (including the source). *)
+
+val ball_size : t -> float -> int
+(** [ball_size t r] = |B(u, r)|. *)
+
+val ball : t -> float -> int array
+(** Members of [B(u, r)] in nondecreasing distance order (lexicographic
+    tie-break). *)
+
+val kth_distance : t -> int -> float
+(** [kth_distance t m] is the distance of the [m]-th closest node
+    (1-based; [kth_distance t 1 = 0.] for the source itself).
+    @raise Invalid_argument if [m] exceeds {!reachable}. *)
+
+val closest : t -> int -> int array
+(** [closest t m] = [N(u, m, V)]: the [min m reachable] closest nodes, in
+    order. *)
+
+val closest_in : t -> int -> (int -> bool) -> int array
+(** [closest_in t m pred] = [N(u, m, Z)] for [Z = {v | pred v}]:
+    the up-to-[m] closest nodes satisfying [pred], in order. *)
+
+val distance : t -> int -> float
+(** Distance from the source to a node ([infinity] if unreachable). *)
+
+val by_rank : t -> (int * float) array
+(** All reachable nodes as (node, distance), sorted by (distance, index).
+    The returned array is the internal one — do not mutate. *)

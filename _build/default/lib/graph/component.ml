@@ -1,0 +1,48 @@
+let components g =
+  let n = Graph.n g in
+  let comp = Array.make n (-1) in
+  let next = ref 0 in
+  let stack = Stack.create () in
+  for s = 0 to n - 1 do
+    if comp.(s) < 0 then begin
+      let id = !next in
+      incr next;
+      Stack.push s stack;
+      comp.(s) <- id;
+      while not (Stack.is_empty stack) do
+        let u = Stack.pop stack in
+        Array.iter
+          (fun (v, _) ->
+            if comp.(v) < 0 then begin
+              comp.(v) <- id;
+              Stack.push v stack
+            end)
+          (Graph.neighbors g u)
+      done
+    end
+  done;
+  comp
+
+let count g =
+  let comp = components g in
+  1 + Array.fold_left max (-1) comp
+
+let is_connected g = Graph.n g = 0 || count g = 1
+
+let largest g =
+  let comp = components g in
+  let k = 1 + Array.fold_left max (-1) comp in
+  if k <= 0 then [||]
+  else begin
+    let sizes = Array.make k 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+    let best = ref 0 in
+    for c = 1 to k - 1 do
+      if sizes.(c) > sizes.(!best) then best := c
+    done;
+    let out = ref [] in
+    for v = Array.length comp - 1 downto 0 do
+      if comp.(v) = !best then out := v :: !out
+    done;
+    Array.of_list !out
+  end

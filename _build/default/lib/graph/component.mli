@@ -1,0 +1,13 @@
+(** Connected components (ignoring weights). *)
+
+val components : Graph.t -> int array
+(** [components g] maps each node to a component id in
+    [0 .. count-1]; ids are assigned in order of smallest member. *)
+
+val count : Graph.t -> int
+
+val is_connected : Graph.t -> bool
+
+val largest : Graph.t -> int array
+(** Node indexes of the largest component (smallest id wins ties),
+    sorted ascending. *)

@@ -1,0 +1,38 @@
+(** Single-source shortest paths (Dijkstra) and shortest-path trees.
+
+    This is the [T(u)] primitive of the paper: a minimum-cost-path
+    spanning tree rooted at a node, plus the distance function [d(u, ·)].
+    Ties are broken lexicographically by node index, matching the paper's
+    lexicographic tie-breaking convention so that constructions are
+    deterministic. *)
+
+type result = {
+  source : int;
+  dist : float array;  (** [dist.(v)] = d(source, v); [infinity] if unreachable *)
+  parent : int array;  (** predecessor on a shortest path; -1 for source/unreachable *)
+  parent_port : int array;
+      (** port at [v] leading to [parent.(v)]; -1 when parent is -1 *)
+}
+
+val run : Graph.t -> int -> result
+(** Full Dijkstra from a source. *)
+
+val run_bounded : Graph.t -> int -> float -> result
+(** [run_bounded g s r] explores only nodes at distance [<= r] (others
+    keep [infinity] / parent -1).  Cost proportional to the ball size. *)
+
+val run_restricted :
+  Graph.t -> allowed:(int -> bool) -> ?max_edge:float -> ?bound:float -> int -> result
+(** Dijkstra in the subgraph induced by [allowed] nodes, optionally
+    ignoring edges heavier than [max_edge] and/or stopping at distance
+    [bound].  The source must be allowed. *)
+
+val path_to : result -> int -> int list
+(** Node sequence from the source to a target along the tree (inclusive).
+    @raise Not_found if the target is unreachable. *)
+
+val bellman_ford : Graph.t -> int -> float array
+(** Reference SSSP (O(nm)) used only by tests to cross-check Dijkstra. *)
+
+val eccentricity : result -> float
+(** Largest finite distance in the result. *)

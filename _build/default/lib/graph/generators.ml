@@ -1,0 +1,259 @@
+module Rng = Cr_util.Rng
+
+(* Add a minimal set of random inter-component edges (weight [w]) so the
+   result is connected. *)
+let connect_up rng g w =
+  if Component.is_connected g then g
+  else begin
+    let comp = Component.components g in
+    let k = 1 + Array.fold_left max (-1) comp in
+    let members = Array.make k [] in
+    Array.iteri (fun v c -> members.(c) <- v :: members.(c)) comp;
+    let pick c =
+      let l = members.(c) in
+      let len = List.length l in
+      List.nth l (Rng.int rng len)
+    in
+    let extra = ref [] in
+    for c = 1 to k - 1 do
+      extra := (pick 0, pick c, w) :: !extra
+    done;
+    let base = Graph.edges g in
+    Graph.create ~names:(Array.init (Graph.n g) (Graph.name_of g)) ~n:(Graph.n g) (base @ !extra)
+  end
+
+let erdos_renyi rng ~n ~avg_degree =
+  if n < 2 then invalid_arg "erdos_renyi: n < 2";
+  let p = avg_degree /. float_of_int (n - 1) in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Rng.bernoulli rng p then edges := (u, v, 1.0 +. Rng.float rng 1.0) :: !edges
+    done
+  done;
+  connect_up rng (Graph.create ~n !edges) 1.5
+
+let random_geometric rng ~n ~radius =
+  if n < 2 then invalid_arg "random_geometric: n < 2";
+  let pts = Array.init n (fun _ -> (Rng.float rng 1.0, Rng.float rng 1.0)) in
+  let dist i j =
+    let xi, yi = pts.(i) and xj, yj = pts.(j) in
+    sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0))
+  in
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = dist u v in
+      if d < radius && d > 0.0 then edges := (u, v, d) :: !edges
+    done
+  done;
+  (* Connect leftover components via their geometrically nearest pairs. *)
+  let g0 = Graph.create ~n !edges in
+  let g1 =
+    if Component.is_connected g0 then g0
+    else begin
+      let comp = Component.components g0 in
+      let k = 1 + Array.fold_left max (-1) comp in
+      let uf = Unionfind.create k in
+      let extra = ref [] in
+      while Unionfind.count uf > 1 do
+        (* nearest pair among different merged groups *)
+        let best = ref None in
+        for u = 0 to n - 1 do
+          for v = u + 1 to n - 1 do
+            if not (Unionfind.same uf comp.(u) comp.(v)) then begin
+              let d = dist u v in
+              match !best with
+              | Some (_, _, bd) when bd <= d -> ()
+              | _ -> best := Some (u, v, d)
+            end
+          done
+        done;
+        match !best with
+        | Some (u, v, d) ->
+            extra := (u, v, max d 1e-9) :: !extra;
+            ignore (Unionfind.union uf comp.(u) comp.(v))
+        | None -> assert false
+      done;
+      Graph.create ~n (!edges @ !extra)
+    end
+  in
+  Graph.normalize g1
+
+let grid ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "grid";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1), 1.0) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c, 1.0) :: !edges
+    done
+  done;
+  Graph.create ~n:(rows * cols) !edges
+
+let torus ~rows ~cols =
+  if rows < 3 || cols < 3 then invalid_arg "torus: need >= 3x3";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      edges := (id r c, id r ((c + 1) mod cols), 1.0) :: !edges;
+      edges := (id r c, id ((r + 1) mod rows) c, 1.0) :: !edges
+    done
+  done;
+  Graph.create ~n:(rows * cols) !edges
+
+let ring_with_chords rng ~n ~chords =
+  if n < 3 then invalid_arg "ring_with_chords: n < 3";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    edges := (u, (u + 1) mod n, 1.0) :: !edges
+  done;
+  let added = ref 0 in
+  let guard = ref 0 in
+  while !added < chords && !guard < 100 * chords do
+    incr guard;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v && abs (u - v) <> 1 && abs (u - v) <> n - 1 then begin
+      edges := (u, v, 1.0) :: !edges;
+      incr added
+    end
+  done;
+  Graph.create ~n !edges
+
+let random_tree rng ~n =
+  if n < 1 then invalid_arg "random_tree: n < 1";
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    let u = Rng.int rng v in
+    edges := (u, v, 1.0 +. Rng.float rng 1.0) :: !edges
+  done;
+  Graph.create ~n !edges
+
+let preferential_attachment rng ~n ~edges_per_node =
+  if n < 2 || edges_per_node < 1 then invalid_arg "preferential_attachment";
+  let m0 = min n (edges_per_node + 1) in
+  let edges = ref [] in
+  (* endpoints list doubles as the degree-proportional sampling urn *)
+  let urn = ref [] in
+  for u = 0 to m0 - 1 do
+    for v = u + 1 to m0 - 1 do
+      edges := (u, v, 1.0) :: !edges;
+      urn := u :: v :: !urn
+    done
+  done;
+  let urn_arr = ref (Array.of_list !urn) in
+  for v = m0 to n - 1 do
+    let targets = Hashtbl.create edges_per_node in
+    let attempts = ref 0 in
+    while Hashtbl.length targets < edges_per_node && !attempts < 50 * edges_per_node do
+      incr attempts;
+      let a = !urn_arr in
+      let t = a.(Rng.int rng (Array.length a)) in
+      if t <> v then Hashtbl.replace targets t ()
+    done;
+    let new_endpoints = ref [] in
+    Hashtbl.iter
+      (fun t () ->
+        edges := (t, v, 1.0) :: !edges;
+        new_endpoints := t :: v :: !new_endpoints)
+      targets;
+    urn_arr := Array.append !urn_arr (Array.of_list !new_endpoints)
+  done;
+  connect_up rng (Graph.create ~n !edges) 1.0
+
+let two_tier_isp rng ~core ~access_per_core =
+  if core < 3 then invalid_arg "two_tier_isp: core < 3";
+  let n = core * (1 + access_per_core) in
+  let edges = ref [] in
+  (* Core ring with long-haul weights, plus a few shortcut links. *)
+  for u = 0 to core - 1 do
+    edges := (u, (u + 1) mod core, 8.0 +. Rng.float rng 4.0) :: !edges
+  done;
+  let shortcuts = max 1 (core / 4) in
+  for _ = 1 to shortcuts do
+    let u = Rng.int rng core and v = Rng.int rng core in
+    if u <> v then edges := (u, v, 10.0 +. Rng.float rng 6.0) :: !edges
+  done;
+  (* Access trees: each core router hangs a random recursive tree of
+     access_per_core nodes with local (cheap) links. *)
+  for c = 0 to core - 1 do
+    let base = core + (c * access_per_core) in
+    for i = 0 to access_per_core - 1 do
+      let v = base + i in
+      let parent = if i = 0 then c else base + Rng.int rng i in
+      edges := (parent, v, 1.0 +. Rng.float rng 1.0) :: !edges
+    done
+  done;
+  Graph.create ~n !edges
+
+let stretch_weights rng g ~target_aspect =
+  if target_aspect < 1.0 then invalid_arg "stretch_weights: aspect < 1";
+  let emax = Float.log target_aspect /. Float.log 2.0 in
+  let g' = Graph.reweight g (fun _ _ w -> w *. (2.0 ** Rng.float rng emax)) in
+  Graph.normalize g'
+
+let dumbbell ~n_side ~bridge_weight =
+  if n_side < 2 then invalid_arg "dumbbell: n_side < 2";
+  if not (bridge_weight > 0.0) then invalid_arg "dumbbell: bad bridge weight";
+  let n = 2 * n_side in
+  let edges = ref [] in
+  for u = 0 to n_side - 1 do
+    for v = u + 1 to n_side - 1 do
+      edges := (u, v, 1.0) :: !edges;
+      edges := (n_side + u, n_side + v, 1.0) :: !edges
+    done
+  done;
+  edges := (0, n_side, bridge_weight) :: !edges;
+  Graph.create ~n !edges
+
+let island_size ~decreasing ~levels sigma j =
+  let e = if decreasing then levels - j else j in
+  let rec pow acc i = if i = 0 || acc > 512 then acc else pow (acc * sigma) (i - 1) in
+  min 512 (max 2 (pow 1 e))
+
+let scale_chain_islands ?(decreasing = false) ~sigma ~levels () =
+  let size = island_size ~decreasing ~levels sigma in
+  let out = Array.make (levels + 1) (0, 0) in
+  let total = ref 0 in
+  for j = 0 to levels do
+    out.(j) <- (!total, size j);
+    total := !total + size j
+  done;
+  out
+
+let scale_chain ?(decreasing = false) rng ~sigma ~levels ~spacing =
+  if sigma < 2 || levels < 1 then invalid_arg "scale_chain";
+  if not (spacing > 1.0) then invalid_arg "scale_chain: spacing <= 1";
+  let size j = island_size ~decreasing ~levels sigma j in
+  let starts = Array.make (levels + 1) 0 in
+  let total = ref 0 in
+  for j = 0 to levels do
+    starts.(j) <- !total;
+    total := !total + size j
+  done;
+  let n = !total in
+  let edges = ref [] in
+  for j = 0 to levels do
+    let s = starts.(j) and sz = size j in
+    (* unit-weight clique *)
+    for a = 0 to sz - 1 do
+      for b = a + 1 to sz - 1 do
+        edges := (s + a, s + b, 1.0) :: !edges
+      done
+    done;
+    (* bridge from island j-1 to island j, spanning the scale gap *)
+    if j > 0 then begin
+      let w = Float.max 1.0 ((spacing ** float_of_int j) -. (spacing ** float_of_int (j - 1))) in
+      edges := (starts.(j - 1), s, w) :: !edges
+    end
+  done;
+  ignore rng;
+  Graph.create ~n !edges
+
+let exponential_line ~n ~base =
+  if n < 2 then invalid_arg "exponential_line: n < 2";
+  if not (base > 1.0) then invalid_arg "exponential_line: base <= 1";
+  let edges = List.init (n - 1) (fun i -> (i, i + 1, base ** float_of_int i)) in
+  Graph.create ~n edges

@@ -1,0 +1,82 @@
+(** Synthetic network generators used as evaluation workloads.
+
+    The paper targets arbitrary weighted networks; its motivation names
+    IP-like networks, DHT overlays, and networks whose aspect ratio Δ is
+    enormous (e.g. [Δ = Ω(2ⁿ)], §1.3).  These generators produce all the
+    topology classes the experiments need.  Every generator takes an
+    {!Cr_util.Rng.t} and is deterministic given the generator state; every
+    generator returns a {e connected} graph (a random spanning structure is
+    added when the raw model leaves components). *)
+
+val erdos_renyi : Cr_util.Rng.t -> n:int -> avg_degree:float -> Graph.t
+(** G(n, p) with [p = avg_degree/(n-1)] and i.i.d. uniform weights in
+    [\[1, 2\]]; connected up by a random spanning tree over components. *)
+
+val random_geometric : Cr_util.Rng.t -> n:int -> radius:float -> Graph.t
+(** [n] points uniform in the unit square, edges between points at
+    Euclidean distance [< radius], weights = Euclidean distance
+    (rescaled so the minimum is 1); connected up by nearest-component
+    links. *)
+
+val grid : rows:int -> cols:int -> Graph.t
+(** Unit-weight 2D grid. *)
+
+val torus : rows:int -> cols:int -> Graph.t
+(** Unit-weight 2D torus (wrap-around grid). *)
+
+val ring_with_chords : Cr_util.Rng.t -> n:int -> chords:int -> Graph.t
+(** Unit-weight ring plus [chords] random long-range chords of weight 1:
+    a DHT-overlay-like small world. *)
+
+val random_tree : Cr_util.Rng.t -> n:int -> Graph.t
+(** Uniform random recursive tree with uniform weights in [\[1, 2\]]. *)
+
+val preferential_attachment : Cr_util.Rng.t -> n:int -> edges_per_node:int -> Graph.t
+(** Barabási–Albert-style scale-free(-degree) graph, unit weights. *)
+
+val two_tier_isp : Cr_util.Rng.t -> core:int -> access_per_core:int -> Graph.t
+(** ISP-like hierarchy: a well-connected core ring with shortcut links
+    (weight ~10, long-haul) and per-core-router access trees (weight ~1,
+    local links).  Models the weighted hierarchical networks of the
+    introduction. *)
+
+val stretch_weights : Cr_util.Rng.t -> Graph.t -> target_aspect:float -> Graph.t
+(** Reweights a graph so its {e edge-weight} spread reaches roughly
+    [target_aspect]: each edge weight is multiplied by [2^e] with [e]
+    uniform in [\[0, log2 target_aspect\]].  Used by the scale-free
+    experiment (T3) to sweep Δ over many orders of magnitude without
+    changing the topology. *)
+
+val dumbbell : n_side:int -> bridge_weight:float -> Graph.t
+(** Two unit-weight cliques of [n_side] nodes joined by one bridge edge of
+    the given weight — the classic high-aspect-ratio adversarial example
+    where distance scales differ by an arbitrary factor. *)
+
+val scale_chain :
+  ?decreasing:bool -> Cr_util.Rng.t -> sigma:int -> levels:int -> spacing:float -> Graph.t
+(** Adversarial multi-scale instance: a chain of "islands"
+    [I_0, I_1, …, I_levels], where island [j] is a unit-weight clique of
+    about [sigma^j] nodes (capped at 512) placed at distance
+    [spacing^j] from island 0 along a weighted chain.  Name-independent
+    directory schemes that resolve identifiers digit-by-digit are forced
+    to visit ever-farther islands to find digit matches, while
+    intra-island traffic has tiny true distance — the worst case behind
+    the exponential-stretch lower-order schemes ([7, 8, 6]) that
+    experiment T1b exhibits.  With [~decreasing:true] island [j] instead
+    has about [sigma^(levels-j)] nodes — the population mass sits at the
+    origin, so digit matches for traffic inside the far (tiny) islands
+    live all the way back across the chain, which is the configuration
+    that actually forces the exponential detours. *)
+
+val scale_chain_islands : ?decreasing:bool -> sigma:int -> levels:int -> unit -> (int * int) array
+(** [(start, size)] of each island of {!scale_chain} with the same
+    parameters — used by the benches to sample source/destination pairs
+    from specific scales. *)
+
+val exponential_line : n:int -> base:float -> Graph.t
+(** A path whose [i]-th edge has weight [base^i]: the aspect ratio is
+    [Θ(base^n)] — the paper's §1.3 example of a network where
+    [Δ = Ω(2^n)] — and, crucially, the network has nontrivial structure
+    at {e every} distance scale, so any scheme with per-scale state
+    (Awerbuch–Peleg covers) pays at every one of the [Θ(n)] levels while
+    a scale-free scheme does not.  Used by experiment T3. *)

@@ -1,0 +1,46 @@
+let to_string g =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "graph %d %d\n" (Graph.n g) (Graph.m g));
+  for u = 0 to Graph.n g - 1 do
+    if Graph.name_of g u <> u then
+      Buffer.add_string buf (Printf.sprintf "name %d %d\n" u (Graph.name_of g u))
+  done;
+  Graph.iter_edges g (fun u v w ->
+      Buffer.add_string buf (Printf.sprintf "edge %d %d %.17g\n" u v w));
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let n = ref (-1) in
+  let names = ref [] in
+  let edges = ref [] in
+  let parse_line lineno line =
+    let line = String.trim line in
+    if line = "" || line.[0] = '#' then ()
+    else begin
+      match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+      | [ "graph"; sn; _sm ] -> n := int_of_string sn
+      | [ "name"; su; sname ] -> names := (int_of_string su, int_of_string sname) :: !names
+      | [ "edge"; su; sv; sw ] ->
+          edges := (int_of_string su, int_of_string sv, float_of_string sw) :: !edges
+      | _ -> invalid_arg (Printf.sprintf "Gio.of_string: bad line %d: %S" lineno line)
+    end
+  in
+  List.iteri parse_line lines;
+  if !n < 0 then invalid_arg "Gio.of_string: missing graph header";
+  let name_arr = Array.init !n (fun i -> i) in
+  List.iter (fun (u, nm) -> name_arr.(u) <- nm) !names;
+  Graph.create ~names:name_arr ~n:!n !edges
+
+let save g path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let buf = really_input_string ic len in
+      of_string buf)

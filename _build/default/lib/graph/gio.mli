@@ -1,0 +1,21 @@
+(** Plain-text graph serialization.
+
+    Format (one record per line, '#' comments allowed):
+    {v
+    graph <n> <m>
+    name <node> <identifier>       (optional; default identity)
+    edge <u> <v> <weight>
+    v}
+    Round-trips exactly through {!to_string} / {!of_string}. *)
+
+val to_string : Graph.t -> string
+
+val of_string : string -> Graph.t
+(** @raise Invalid_argument on malformed input. *)
+
+val save : Graph.t -> string -> unit
+(** [save g path] writes {!to_string} to a file. *)
+
+val load : string -> Graph.t
+(** [load path] parses a file.
+    @raise Sys_error or [Invalid_argument]. *)

@@ -1,0 +1,172 @@
+type t = {
+  n : int;
+  m : int;
+  adj : (int * float) array array;
+  names : int array;
+}
+
+(* Cache of name->index tables, keyed by physical identity of the graph
+   (structural hashing only samples a bounded prefix, so this stays O(1)). *)
+module Phys_tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = ( == )
+
+  let hash g = Hashtbl.hash (g.n, g.m)
+end)
+
+let name_index_cache : (int, int) Hashtbl.t Phys_tbl.t = Phys_tbl.create 16
+
+let create ?names ~n edges =
+  if n < 0 then invalid_arg "Graph.create: negative n";
+  let names =
+    match names with
+    | None -> Array.init n (fun i -> i)
+    | Some a ->
+        if Array.length a <> n then invalid_arg "Graph.create: names length mismatch";
+        Array.copy a
+  in
+  (* Merge parallel edges keeping the minimum weight. *)
+  let tbl = Hashtbl.create (2 * List.length edges) in
+  List.iter
+    (fun (u, v, w) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Graph.create: node out of range";
+      if u = v then invalid_arg "Graph.create: self-loop";
+      if not (w > 0.0) then invalid_arg "Graph.create: non-positive weight";
+      let key = if u < v then (u, v) else (v, u) in
+      match Hashtbl.find_opt tbl key with
+      | Some w' when w' <= w -> ()
+      | _ -> Hashtbl.replace tbl key w)
+    edges;
+  let deg = Array.make n 0 in
+  Hashtbl.iter
+    (fun (u, v) _ ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    tbl;
+  let adj = Array.init n (fun u -> Array.make deg.(u) (0, 0.0)) in
+  let fill = Array.make n 0 in
+  Hashtbl.iter
+    (fun (u, v) w ->
+      adj.(u).(fill.(u)) <- (v, w);
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- (u, w);
+      fill.(v) <- fill.(v) + 1)
+    tbl;
+  Array.iter (fun a -> Array.sort (fun (x, _) (y, _) -> compare x y) a) adj;
+  { n; m = Hashtbl.length tbl; adj; names }
+
+let n g = g.n
+
+let m g = g.m
+
+let degree g u = Array.length g.adj.(u)
+
+let max_degree g = Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.adj
+
+let neighbors g u = g.adj.(u)
+
+let iter_edges g f =
+  Array.iteri
+    (fun u a -> Array.iter (fun (v, w) -> if u < v then f u v w) a)
+    g.adj
+
+let edges g =
+  let acc = ref [] in
+  iter_edges g (fun u v w -> acc := (u, v, w) :: !acc);
+  List.rev !acc
+
+(* Binary search in the sorted adjacency array. *)
+let find_port g u v =
+  let a = g.adj.(u) in
+  let lo = ref 0 and hi = ref (Array.length a - 1) in
+  let res = ref None in
+  while !res = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x, _ = a.(mid) in
+    if x = v then res := Some mid else if x < v then lo := mid + 1 else hi := mid - 1
+  done;
+  !res
+
+let port g u v = find_port g u v
+
+let has_edge g u v = find_port g u v <> None
+
+let edge_weight g u v =
+  match find_port g u v with None -> None | Some p -> Some (snd g.adj.(u).(p))
+
+let via_port g u p =
+  let a = g.adj.(u) in
+  if p < 0 || p >= Array.length a then invalid_arg "Graph.via_port: bad port";
+  a.(p)
+
+let name_of g u = g.names.(u)
+
+let index_of_name g name =
+  let tbl =
+    match Phys_tbl.find_opt name_index_cache g with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create g.n in
+        Array.iteri (fun i nm -> Hashtbl.replace tbl nm i) g.names;
+        Phys_tbl.replace name_index_cache g tbl;
+        tbl
+  in
+  Hashtbl.find_opt tbl name
+
+let fold_weights f init g =
+  let acc = ref init in
+  iter_edges g (fun _ _ w -> acc := f !acc w);
+  !acc
+
+let min_weight g = fold_weights min infinity g
+
+let max_weight g = fold_weights max 0.0 g
+
+let map_weights g f =
+  let adj = Array.map (Array.map (fun (v, w) -> (v, f v w))) g.adj in
+  (* f is applied per directed entry; caller must be symmetric. *)
+  { g with adj }
+
+let normalize g =
+  let wmin = min_weight g in
+  if g.m = 0 || wmin = 1.0 then g
+  else map_weights g (fun _ w -> w /. wmin)
+
+let reweight g f =
+  (* Rebuild from the undirected edge list so that [f] is applied exactly
+     once per edge — [f] may be stateful (e.g. draw random weights). *)
+  let acc = ref [] in
+  iter_edges g (fun u v w ->
+      let w' = f u v w in
+      if not (w' > 0.0) then invalid_arg "Graph.reweight: non-positive weight";
+      acc := (u, v, w') :: !acc);
+  create ~names:(Array.copy g.names) ~n:g.n !acc
+
+let induced g nodes =
+  let k = Array.length nodes in
+  let map = Hashtbl.create k in
+  Array.iteri
+    (fun i u ->
+      if Hashtbl.mem map u then invalid_arg "Graph.induced: duplicate node";
+      Hashtbl.replace map u i)
+    nodes;
+  let edges = ref [] in
+  Array.iteri
+    (fun i u ->
+      Array.iter
+        (fun (v, w) ->
+          match Hashtbl.find_opt map v with
+          | Some j when i < j -> edges := (i, j, w) :: !edges
+          | _ -> ())
+        g.adj.(u))
+    nodes;
+  let names = Array.map (fun u -> g.names.(u)) nodes in
+  (create ~names ~n:k !edges, nodes)
+
+let relabel rng g =
+  (* Random distinct identifiers drawn from a space 16x larger than n,
+     so names carry no topological information. *)
+  let space = max 16 (16 * g.n) in
+  let fresh = Cr_util.Rng.sample_without_replacement rng g.n space in
+  { g with names = fresh }

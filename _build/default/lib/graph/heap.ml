@@ -1,0 +1,79 @@
+type t = {
+  mutable size : int;
+  elts : int array; (* heap slots -> element *)
+  prio : float array; (* heap slots -> priority *)
+  pos : int array; (* element -> heap slot, or -1 *)
+}
+
+let create n =
+  { size = 0; elts = Array.make (max n 1) (-1); prio = Array.make (max n 1) 0.0; pos = Array.make (max n 1) (-1) }
+
+let is_empty h = h.size = 0
+
+let size h = h.size
+
+let mem h x = x >= 0 && x < Array.length h.pos && h.pos.(x) >= 0
+
+let swap h i j =
+  let ei = h.elts.(i) and ej = h.elts.(j) in
+  let pi = h.prio.(i) and pj = h.prio.(j) in
+  h.elts.(i) <- ej;
+  h.elts.(j) <- ei;
+  h.prio.(i) <- pj;
+  h.prio.(j) <- pi;
+  h.pos.(ej) <- i;
+  h.pos.(ei) <- j
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.prio.(i) < h.prio.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.prio.(l) < h.prio.(!smallest) then smallest := l;
+  if r < h.size && h.prio.(r) < h.prio.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let insert h x p =
+  if x < 0 || x >= Array.length h.pos then invalid_arg "Heap.insert: out of range";
+  if h.pos.(x) >= 0 then invalid_arg "Heap.insert: already present";
+  let i = h.size in
+  h.size <- i + 1;
+  h.elts.(i) <- x;
+  h.prio.(i) <- p;
+  h.pos.(x) <- i;
+  sift_up h i
+
+let decrease h x p =
+  if not (mem h x) then invalid_arg "Heap.decrease: absent element";
+  let i = h.pos.(x) in
+  if p > h.prio.(i) then invalid_arg "Heap.decrease: priority increase";
+  h.prio.(i) <- p;
+  sift_up h i
+
+let insert_or_decrease h x p =
+  if mem h x then begin
+    if p < h.prio.(h.pos.(x)) then decrease h x p
+  end
+  else insert h x p
+
+let pop_min h =
+  if h.size = 0 then raise Not_found;
+  let x = h.elts.(0) and p = h.prio.(0) in
+  let last = h.size - 1 in
+  swap h 0 last;
+  h.size <- last;
+  h.pos.(x) <- -1;
+  if last > 0 then sift_down h 0;
+  (x, p)
+
+let priority h x = if mem h x then h.prio.(h.pos.(x)) else raise Not_found

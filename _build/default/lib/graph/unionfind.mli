@@ -1,0 +1,20 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used by generators (to guarantee connectivity) and by the sparse-cover
+    construction (to assemble clusters from ball layers). *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merges the two sets; returns [false] if they were already merged. *)
+
+val same : t -> int -> int -> bool
+
+val count : t -> int
+(** Number of disjoint sets remaining. *)

@@ -1,0 +1,1 @@
+lib/landmark/landmarks.ml: Array Cr_graph Cr_util Float

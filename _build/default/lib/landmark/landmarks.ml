@@ -1,0 +1,92 @@
+module Rng = Cr_util.Rng
+module Ball = Cr_graph.Ball
+
+type t = {
+  n : int;
+  k : int;
+  rank : int array; (* rank.(v) = max j with v in C_j, in 0..k-1 *)
+}
+
+let build ~seed ~n ~k =
+  if k < 1 then invalid_arg "Landmarks.build: k < 1";
+  if n < 1 then invalid_arg "Landmarks.build: n < 1";
+  let rng = Rng.create seed in
+  let rank = Array.make n 0 in
+  if k > 1 then begin
+    let p = (float_of_int n /. Float.log (float_of_int (max 3 n))) ** (-1.0 /. float_of_int k) in
+    for v = 0 to n - 1 do
+      (* survive into C_1, C_2, ... independently with probability p each *)
+      let rec climb j = if j < k - 1 && Rng.bernoulli rng p then climb (j + 1) else j in
+      rank.(v) <- climb 0
+    done
+  end;
+  { n; k; rank }
+
+let n t = t.n
+
+let k t = t.k
+
+let rank t v = t.rank.(v)
+
+let in_level t v j = j = 0 || (j < t.k && t.rank.(v) >= j)
+
+let level t j =
+  let acc = ref [] in
+  for v = t.n - 1 downto 0 do
+    if in_level t v j then acc := v :: !acc
+  done;
+  Array.of_list !acc
+
+let level_size t j =
+  let c = ref 0 in
+  for v = 0 to t.n - 1 do
+    if in_level t v j then incr c
+  done;
+  !c
+
+let nearby t ball ~level ~cap = Ball.closest_in ball cap (fun v -> in_level t v level)
+
+let highest_rank_in t members =
+  Array.fold_left (fun acc v -> max acc t.rank.(v)) (-1) members
+
+let center_in t ball ~radius =
+  let members = Ball.ball ball radius in
+  if Array.length members = 0 then None
+  else begin
+    let m = highest_rank_in t members in
+    (* members are sorted by distance, so the first with rank >= m is the
+       closest highest-rank landmark *)
+    let rec find i =
+      if i >= Array.length members then None
+      else if t.rank.(members.(i)) >= m then Some members.(i)
+      else find (i + 1)
+    in
+    find 0
+  end
+
+let lnn t = Float.log (float_of_int (max 3 t.n))
+
+let claim1_threshold t j =
+  let fk = float_of_int t.k and fj = float_of_int j in
+  let fn = float_of_int t.n in
+  4.0 *. (lnn t ** ((fk -. fj) /. fk)) *. (fn ** (fj /. fk))
+
+let claim2_size_limit t j =
+  let fk = float_of_int t.k and fj = float_of_int j in
+  let fn = float_of_int t.n in
+  4.0 *. (lnn t ** ((fk -. (fj +. 1.0)) /. fk)) *. (fn ** ((fj +. 2.0) /. fk))
+
+let claim2_count_limit t =
+  let fn = float_of_int t.n in
+  16.0 *. (fn ** (2.0 /. float_of_int t.k)) *. lnn t
+
+let check_claim1 t members j =
+  if float_of_int (Array.length members) < claim1_threshold t j then true
+  else Array.exists (fun v -> in_level t v j) members
+
+let check_claim2 t members j =
+  if float_of_int (Array.length members) >= claim2_size_limit t j then true
+  else begin
+    let count = Array.fold_left (fun acc v -> if in_level t v j then acc + 1 else acc) 0 members in
+    float_of_int count <= claim2_count_limit t
+  end

@@ -1,0 +1,1 @@
+lib/tree/dense_tree_routing.ml: Array Cr_graph Cr_util Hashtbl Int64 List Tree Tree_labels

@@ -1,0 +1,1 @@
+lib/tree/dense_tree_routing.mli: Tree

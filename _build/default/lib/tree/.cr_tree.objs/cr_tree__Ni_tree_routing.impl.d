@@ -1,0 +1,1 @@
+lib/tree/ni_tree_routing.ml: Array Cr_graph Cr_util Hashtbl List Tree Tree_labels

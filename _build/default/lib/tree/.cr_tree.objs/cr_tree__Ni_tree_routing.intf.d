@@ -1,0 +1,1 @@
+lib/tree/ni_tree_routing.mli: Tree

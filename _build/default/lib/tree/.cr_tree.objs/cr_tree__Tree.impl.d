@@ -1,0 +1,1 @@
+lib/tree/tree.ml: Array Cr_graph Hashtbl List Option Stack

@@ -1,0 +1,1 @@
+lib/tree/tree_labels.ml: Array Cr_graph Cr_util Format Hashtbl List Printf String Tree

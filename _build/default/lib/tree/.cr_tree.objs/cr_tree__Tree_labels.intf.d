@@ -1,0 +1,1 @@
+lib/tree/tree_labels.mli: Format Tree

@@ -1,0 +1,100 @@
+module Bits = Cr_util.Bits
+module Graph = Cr_graph.Graph
+
+type outcome = Found of int | Not_found_reported
+
+type search_result = { walk : int list; outcome : outcome }
+
+type t = {
+  tree : Tree.t;
+  labels : Tree_labels.t;
+  dir : (int, int) Hashtbl.t array; (* by dfs index: ident -> graph id *)
+}
+
+(* Deterministic avalanche of an identifier into [0, m). *)
+let slot_of ident m =
+  let z = Int64.of_int (ident + 0x9E37) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.shift_right_logical z 8) mod m
+
+let build tree =
+  let labels = Tree_labels.build tree in
+  let m = Tree.size tree in
+  let dir = Array.init m (fun _ -> Hashtbl.create 2) in
+  Array.iter
+    (fun v ->
+      if Tree.is_member tree v then begin
+        let ident = Graph.name_of (Tree.graph tree) v in
+        Hashtbl.replace dir.(slot_of ident m) ident v
+      end)
+    (Tree.nodes tree);
+  { tree; labels; dir }
+
+let tree t = t.tree
+
+let append_path tree walk_rev a b =
+  match Tree.path tree a b with
+  | [] -> walk_rev
+  | _first :: rest -> List.rev_append rest walk_rev
+
+(* Descend from the root to the node with the given DFS index by interval
+   containment — every step is a local decision on stored child
+   intervals. *)
+let descend tree q =
+  let rec go v acc =
+    if Tree.dfs_index tree v = q then List.rev (v :: acc)
+    else begin
+      let ch = Tree.children tree v in
+      let next = ref (-1) in
+      Array.iter
+        (fun c ->
+          let lo, hi = Tree.subtree_interval tree c in
+          if q >= lo && q < hi then next := c)
+        ch;
+      assert (!next >= 0);
+      go !next (v :: acc)
+    end
+  in
+  go (Tree.root tree) []
+
+let search t ident =
+  let tree = t.tree in
+  let root = Tree.root tree in
+  let m = Tree.size tree in
+  let q = slot_of ident m in
+  let down = descend tree q in
+  let dir_node = List.nth down (List.length down - 1) in
+  let walk_rev = List.rev down in
+  match Hashtbl.find_opt t.dir.(q) ident with
+  | Some v ->
+      let walk_rev = append_path tree walk_rev dir_node v in
+      { walk = List.rev walk_rev; outcome = Found v }
+  | None ->
+      let walk_rev = append_path tree walk_rev dir_node root in
+      { walk = List.rev walk_rev; outcome = Not_found_reported }
+
+let cost_bound t =
+  let k = Bits.bits_for (max 2 (Tree.size t.tree)) in
+  (4.0 *. Tree.radius t.tree) +. (2.0 *. float_of_int k *. Tree.max_edge t.tree)
+
+let node_storage_bits t v =
+  let tree = t.tree in
+  let n = Graph.n (Tree.graph tree) in
+  let idb = Bits.id_bits ~n in
+  let ident_bits = 2 * idb in
+  let own = Tree_labels.node_storage_bits t.labels v in
+  let m = Tree.size tree in
+  let interval_bits = 2 * Bits.bits_for (max 2 m) in
+  let child_bits = Array.length (Tree.children tree v) * interval_bits in
+  let q = Tree.dfs_index tree v in
+  let dir_bits =
+    Hashtbl.fold
+      (fun _id u acc -> acc + ident_bits + Tree_labels.label_bits (Tree_labels.label t.labels u))
+      t.dir.(q) 0
+  in
+  own + child_bits + dir_bits
+
+let total_storage_bits t =
+  Array.fold_left (fun acc v -> acc + node_storage_bits t v) 0 (Tree.nodes t.tree)

@@ -1,0 +1,41 @@
+(** Name-independent error-reporting tree routing for cover trees —
+    Lemma 7 of the paper (the AGM'04 [3] scheme with Lemma 5 labels).
+
+    Every tree node gets a DFS index; the {e directory node} of a network
+    identifier is the tree node whose DFS index is [hash(ident) mod m].
+    That node stores the routing labels of all member identifiers hashed
+    to it.  A search from the root descends by DFS intervals to the
+    directory node (each step a local decision on stored child
+    intervals), looks up the destination label, and either routes to the
+    destination or returns a negative response to the root.
+
+    Route length is at most [4·rad(T) + 2k·maxE(T)]; a failed search
+    (non-existent name) incurs a closed walk of at most the same length
+    back to the root. *)
+
+type t
+
+type outcome = Found of int | Not_found_reported
+
+type search_result = { walk : int list; outcome : outcome }
+
+val build : Tree.t -> t
+(** Index a tree.  Only {e member} nodes (not relays) get directory
+    entries; all tree nodes participate in forwarding. *)
+
+val tree : t -> Tree.t
+
+val search : t -> int -> search_result
+(** [search t ident] searches from the root for the member with the given
+    network identifier.  The walk starts at the root; on failure it ends
+    back at the root. *)
+
+val cost_bound : t -> float
+(** The Lemma 7 bound [4·rad(T) + 2k·maxE(T)] for this tree, with
+    [k = ⌈log₂ m⌉] (the label depth). *)
+
+val node_storage_bits : t -> int -> int
+(** Bits at one tree node: own label, child intervals/ports, directory
+    entries. *)
+
+val total_storage_bits : t -> int

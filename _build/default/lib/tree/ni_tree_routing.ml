@@ -1,0 +1,271 @@
+module Bits = Cr_util.Bits
+module Digit_hash = Cr_util.Digit_hash
+module Graph = Cr_graph.Graph
+
+type outcome = Found of int | Not_found_reported
+
+type search_result = { walk : int list; outcome : outcome; rounds : int }
+
+type t = {
+  tree : Tree.t;
+  labels : Tree_labels.t;
+  k : int;
+  sigma : int;
+  cap : int;
+  hash : Digit_hash.t;
+  order : int array; (* position -> graph id, by (root distance, id) *)
+  position : int array; (* tree index -> position *)
+  level_start : int array; (* level_start.(l) = first position with l digits *)
+  name_len : int array; (* per tree index *)
+  dir : (int, int) Hashtbl.t array; (* per tree index: ident -> graph id *)
+  max_load : int;
+}
+
+(* Positions are named level by level: 1 root, then sigma 1-digit names,
+   sigma^2 2-digit names, ...  level_start.(l) is the first position of
+   level l; level_start.(k+1) caps the total. *)
+let compute_level_starts ~sigma ~k m =
+  let starts = Array.make (k + 2) 0 in
+  let acc = ref 1 in
+  starts.(0) <- 0;
+  for l = 1 to k + 1 do
+    starts.(l) <- !acc;
+    if l <= k then begin
+      let cap_level =
+        let rec pow acc i = if i = 0 || acc > m then acc else pow (acc * sigma) (i - 1) in
+        pow 1 l
+      in
+      acc := !acc + cap_level
+    end
+  done;
+  if !acc < m then invalid_arg "Ni_tree_routing: tree too large for sigma^k names";
+  starts
+
+let level_of_position starts ~k p =
+  let rec find l =
+    if l > k then invalid_arg "Ni_tree_routing: position beyond last level"
+    else if p < starts.(l + 1) then l
+    else find (l + 1)
+  in
+  find 0
+
+let name_of_position ~sigma starts ~k p =
+  let l = level_of_position starts ~k p in
+  if l = 0 then [||]
+  else begin
+    let v = ref (p - starts.(l)) in
+    let digits = Array.make l 0 in
+    for i = l - 1 downto 0 do
+      digits.(i) <- !v mod sigma;
+      v := !v / sigma
+    done;
+    digits
+  end
+
+(* Position of the node whose name is digits.(0 .. len-1), if assigned. *)
+let position_of_name ~sigma starts ~m digits len =
+  let v = ref 0 in
+  for i = 0 to len - 1 do
+    v := (!v * sigma) + digits.(i)
+  done;
+  let p = starts.(len) + !v in
+  if p < m then Some p else None
+
+let ident tree v = Graph.name_of (Tree.graph tree) v
+
+let sigma_for ~n_global ~k =
+  max 2 (Bits.ceil_pow (float_of_int (max 2 n_global)) (1.0 /. float_of_int k))
+
+let try_build ~seed ~k ~n_global ~cap tree labels order position level_start =
+  let m = Array.length order in
+  let sigma = sigma_for ~n_global ~k in
+  let hash = Digit_hash.create ~seed ~sigma ~digits:k in
+  let name_len = Array.make m 0 in
+  Array.iteri
+    (fun p v -> name_len.(Tree.tree_index tree v) <- level_of_position level_start ~k p)
+    order;
+  (* Directory of each named node: the [cap] prefix-matching nodes closest
+     to the root.  Scanning nodes in distance order and appending to the
+     directories of all their hash-prefix names keeps each directory
+     sorted by closeness with a single pass. *)
+  let dir = Array.init m (fun _ -> Hashtbl.create 4) in
+  let full = Array.make m 0 in
+  Array.iter
+    (fun z ->
+      let idz = ident tree z in
+      let h = Digit_hash.hash hash idz in
+      for l = 0 to k do
+        match position_of_name ~sigma level_start ~m h l with
+        | Some p ->
+            let wi = Tree.tree_index tree order.(p) in
+            if full.(wi) < cap then begin
+              Hashtbl.replace dir.(wi) idz z;
+              full.(wi) <- full.(wi) + 1
+            end
+        | None -> ()
+      done)
+    order;
+  let max_load = Array.fold_left max 0 full in
+  (* Validate the Lemma-4 delivery precondition: every node v with name
+     length l is present in the directory of the node named by the first
+     max(0, l-1) hash digits of v's identifier (for l = 0, the root must
+     know itself). *)
+  let ok = ref true in
+  Array.iter
+    (fun v ->
+      let vi = Tree.tree_index tree v in
+      let pref_len = max 0 (name_len.(vi) - 1) in
+      let idv = ident tree v in
+      let h = Digit_hash.hash hash idv in
+      match position_of_name ~sigma level_start ~m h pref_len with
+      | Some p ->
+          let wi = Tree.tree_index tree order.(p) in
+          if Hashtbl.find_opt dir.(wi) idv <> Some v then ok := false
+      | None -> ok := false)
+    order;
+  if !ok then
+    Some
+      {
+        tree;
+        labels;
+        k;
+        sigma;
+        cap;
+        hash;
+        order;
+        position;
+        level_start;
+        name_len;
+        dir;
+        max_load;
+      }
+  else None
+
+let build ?(seed = 0x5EED) ~k ~n_global tree =
+  if k < 1 then invalid_arg "Ni_tree_routing.build: k < 1";
+  let labels = Tree_labels.build tree in
+  let order = Tree.by_root_distance tree in
+  let m = Array.length order in
+  let position = Array.make m 0 in
+  Array.iteri (fun p v -> position.(Tree.tree_index tree v) <- p) order;
+  let sigma = sigma_for ~n_global ~k in
+  let level_start = compute_level_starts ~sigma ~k m in
+  let base_cap = max 1 (sigma * Bits.bits_for (max 2 n_global)) in
+  (* Re-seed on (vanishingly rare) hash overload; double the directory
+     capacity if 64 seeds all fail — a constructive version of the
+     with-high-probability argument. *)
+  let rec attempt cap tries =
+    let rec seeds i =
+      if i >= 64 then None
+      else
+        match
+          try_build ~seed:(seed + (tries * 64) + i) ~k ~n_global ~cap tree labels order
+            position level_start
+        with
+        | Some t -> Some t
+        | None -> seeds (i + 1)
+    in
+    match seeds 0 with
+    | Some t -> t
+    | None ->
+        if cap >= m then failwith "Ni_tree_routing.build: cannot satisfy directory invariant"
+        else attempt (min (2 * cap) m) (tries + 1)
+  in
+  attempt (min base_cap m) 0
+
+let tree t = t.tree
+
+let sigma t = t.sigma
+
+let directory_capacity t = t.cap
+
+let name_of t v =
+  let p = t.position.(Tree.tree_index t.tree v) in
+  name_of_position ~sigma:t.sigma t.level_start ~k:t.k p
+
+let name_digits t v = t.name_len.(Tree.tree_index t.tree v)
+
+let append_path tree walk_rev a b =
+  (* extend reversed walk (ending at a) with the tree path a -> b,
+     excluding a itself *)
+  match Tree.path tree a b with
+  | [] -> walk_rev
+  | _first :: rest -> List.rev_append rest walk_rev
+
+let search t ~bound ident_target =
+  let bound = max 1 (min bound t.k) in
+  let root = Tree.root t.tree in
+  let h = Digit_hash.hash t.hash ident_target in
+  let m = Array.length t.order in
+  let rec go current walk_rev round =
+    let ci = Tree.tree_index t.tree current in
+    match Hashtbl.find_opt t.dir.(ci) ident_target with
+    | Some v ->
+        let walk_rev = append_path t.tree walk_rev current v in
+        { walk = List.rev walk_rev; outcome = Found v; rounds = round }
+    | None ->
+        if round = bound then begin
+          let walk_rev = append_path t.tree walk_rev current root in
+          { walk = List.rev walk_rev; outcome = Not_found_reported; rounds = round }
+        end
+        else begin
+          match position_of_name ~sigma:t.sigma t.level_start ~m h round with
+          | Some p ->
+              let next = t.order.(p) in
+              let walk_rev = append_path t.tree walk_rev current next in
+              go next walk_rev (round + 1)
+          | None ->
+              (* No node carries that name: the level is not full, so every
+                 prefix-matching node fit in the directory just checked —
+                 conclusively absent. *)
+              let walk_rev = append_path t.tree walk_rev current root in
+              { walk = List.rev walk_rev; outcome = Not_found_reported; rounds = round }
+        end
+  in
+  go root [ root ] 1
+
+let guaranteed_bound t vs =
+  Array.fold_left
+    (fun acc v -> if Tree.mem t.tree v then max acc (max 1 (name_digits t v)) else t.k)
+    1 vs
+
+(* Number of assigned trie children of the node at position p. *)
+let trie_child_count t p =
+  let l = level_of_position t.level_start ~k:t.k p in
+  if l >= t.k then 0
+  else begin
+    let m = Array.length t.order in
+    let value = p - t.level_start.(l) in
+    let first_child = t.level_start.(l + 1) + (value * t.sigma) in
+    if first_child >= m then 0 else min t.sigma (m - first_child)
+  end
+
+let node_storage_bits t v =
+  let i = Tree.tree_index t.tree v in
+  let n = Graph.n (Tree.graph t.tree) in
+  let idb = Bits.id_bits ~n in
+  let ident_bits = 2 * idb in
+  let hash_bits = Digit_hash.storage_bits ~n in
+  let own = Tree_labels.node_storage_bits t.labels v in
+  let label_bits_of u = Tree_labels.label_bits (Tree_labels.label t.labels u) in
+  (* trie children: presence bitmap over sigma slots plus one label each *)
+  let p = t.position.(i) in
+  let cc = trie_child_count t p in
+  let trie_bits = ref t.sigma in
+  let l = t.name_len.(i) in
+  if cc > 0 then begin
+    let value = p - t.level_start.(l) in
+    let first_child = t.level_start.(l + 1) + (value * t.sigma) in
+    for c = first_child to first_child + cc - 1 do
+      trie_bits := !trie_bits + label_bits_of t.order.(c)
+    done
+  end;
+  let dir_bits =
+    Hashtbl.fold (fun _id u acc -> acc + ident_bits + label_bits_of u) t.dir.(i) 0
+  in
+  hash_bits + own + !trie_bits + dir_bits
+
+let total_storage_bits t =
+  Array.fold_left (fun acc v -> acc + node_storage_bits t v) 0 (Tree.nodes t.tree)
+
+let max_prefix_load t = t.max_load

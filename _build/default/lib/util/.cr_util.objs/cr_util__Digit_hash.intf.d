@@ -1,0 +1,1 @@
+lib/util/digit_hash.mli:

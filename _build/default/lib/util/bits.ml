@@ -1,0 +1,18 @@
+let ceil_log2 m =
+  assert (m >= 1);
+  let rec go acc v = if v >= m then acc else go (acc + 1) (v * 2) in
+  go 0 1
+
+let bits_for m = if m <= 0 then 0 else if m = 1 then 1 else ceil_log2 m
+
+let id_bits ~n = bits_for n
+
+let port_bits ~degree = bits_for (max 1 degree)
+
+let distance_bits = 32
+
+let level_bits ~k = bits_for (k + 1)
+
+let range_bits = 16
+
+let ceil_pow x e = int_of_float (Float.ceil (x ** e))

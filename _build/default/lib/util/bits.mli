@@ -1,0 +1,33 @@
+(** Bit-size bookkeeping for routing-table storage accounting.
+
+    The paper states all bounds in bits ([O(k² n^{1/k} log³ n)]-bit tables,
+    Theorem 1).  Every scheme in this library charges its stored state
+    through these helpers so that space measurements are consistent and
+    auditable. *)
+
+val bits_for : int -> int
+(** [bits_for m] is the number of bits needed to address [m] distinct
+    values, i.e. [ceil(log2 m)], with [bits_for 0 = 0] and
+    [bits_for 1 = 1]. *)
+
+val id_bits : n:int -> int
+(** Bits for one node identifier in an [n]-node network. *)
+
+val port_bits : degree:int -> int
+(** Bits for one port number at a node of the given degree. *)
+
+val distance_bits : int
+(** Bits charged per stored distance value (a fixed-width float). *)
+
+val level_bits : k:int -> int
+(** Bits for one level index in [\{0..k\}]. *)
+
+val range_bits : int
+(** Bits for one range exponent [a(u,i)] (an integer [<= ceil(log2 Δ)];
+    charged as a fixed 16-bit field, which covers Δ up to [2^65535]). *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 m] = [ceil(log2 m)] for [m >= 1]. *)
+
+val ceil_pow : float -> float -> int
+(** [ceil_pow x e] = [ceil(x ** e)] as an int, for nonnegative [x]. *)

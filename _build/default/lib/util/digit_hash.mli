@@ -1,0 +1,38 @@
+(** Seeded hashing of node identifiers into digit strings over a small
+    alphabet.
+
+    Lemma 4 of the paper gives every tree node a third name [h(v) ∈ Σ^k]
+    where [Σ = {0, …, n^{1/k} − 1}], produced by a [Θ(log n)]-wise
+    independent hash of [Θ(log² n)] bits.  This module provides the
+    equivalent object: a seeded mixing hash mapping an arbitrary integer
+    identifier to a [k]-digit string over an alphabet of size [sigma].
+    The storage charged per instance matches the paper's
+    [Θ(log² n)]-bit figure (see {!storage_bits}). *)
+
+type t
+(** An immutable hash-function instance. *)
+
+val create : seed:int -> sigma:int -> digits:int -> t
+(** [create ~seed ~sigma ~digits] builds a hash with [digits] output
+    digits, each in [\[0, sigma)].  [sigma >= 1], [digits >= 1]. *)
+
+val sigma : t -> int
+
+val digits : t -> int
+
+val hash : t -> int -> int array
+(** [hash t id] is the full digit string of [id]; its length is
+    [digits t].  Deterministic per instance. *)
+
+val digit : t -> int -> int -> int
+(** [digit t id i] is digit [i] (0-based) of [hash t id], computed without
+    allocating the full string. *)
+
+val prefix_matches : t -> int -> int array -> int -> bool
+(** [prefix_matches t id prefix j] tests whether the first [j] digits of
+    [hash t id] equal [prefix.(0..j-1)]. *)
+
+val storage_bits : n:int -> int
+(** Bits charged for storing one hash instance at a node in an [n]-node
+    network: [Θ(log² n)] per the Carter–Wegman construction the paper
+    cites. *)

@@ -1,0 +1,62 @@
+(* Arithmetic over GF(p) with p = 2^61 - 1 (Mersenne).  All values fit in
+   OCaml's 63-bit native ints; products are reduced with the identity
+   2^61 ≡ 1 (mod p). *)
+
+let p = 0x1FFF_FFFF_FFFF_FFFF (* 2^61 - 1 *)
+
+(* x ≡ (x land p) + (x lsr 61) (mod p), for any 0 <= x < 2^63. *)
+let fold x =
+  let r = (x land p) + (x lsr 61) in
+  if r >= p then r - p else r
+
+(* (x * 2^31) mod p, for 0 <= x < 2^62. *)
+let shift31 x =
+  let x = fold x in
+  (* x = x_hi*2^30 + x_lo, so x*2^31 = x_hi*2^61 + x_lo*2^31 ≡ x_hi + x_lo*2^31 *)
+  fold (((x land 0x3FFF_FFFF) lsl 31) + (x lsr 30))
+
+(* (a * b) mod p by 31-bit splitting: every intermediate product < 2^62. *)
+let mulmod a b =
+  let a = a mod p and b = b mod p in
+  let a_hi = a lsr 31 and a_lo = a land 0x7FFF_FFFF in
+  let b_hi = b lsr 31 and b_lo = b land 0x7FFF_FFFF in
+  let low = fold (a_lo * b_lo) in
+  let mid = shift31 (fold (a_hi * b_lo) + fold (a_lo * b_hi)) in
+  (* a_hi*b_hi carries 2^62 ≡ 2 (mod p) *)
+  let high = fold (2 * fold (a_hi * b_hi)) in
+  fold (low + mid + high)
+
+type t = { coeffs : int array; range : int }
+
+let make ~seed ~degree ~range =
+  if degree < 0 then invalid_arg "Poly_hash.make: negative degree";
+  if range < 1 then invalid_arg "Poly_hash.make: range < 1";
+  let rng = Rng.create seed in
+  let coeffs =
+    Array.init (degree + 1) (fun _ ->
+        (* uniform in [0, p) via rejection on 61 random bits *)
+        let rec draw () =
+          let r = Int64.to_int (Int64.shift_right_logical (Rng.bits64 rng) 3) in
+          if r < p then r else draw ()
+        in
+        draw ())
+  in
+  { coeffs; range }
+
+let hash t x =
+  if x < 0 then invalid_arg "Poly_hash.hash: negative input";
+  let x = x mod p in
+  (* Horner evaluation *)
+  let acc = ref 0 in
+  for i = Array.length t.coeffs - 1 downto 0 do
+    acc := (mulmod !acc x + t.coeffs.(i)) mod p
+  done;
+  !acc mod t.range
+
+let degree t = Array.length t.coeffs - 1
+
+let range t = t.range
+
+let independence t = Array.length t.coeffs
+
+let storage_bits t = 61 * Array.length t.coeffs

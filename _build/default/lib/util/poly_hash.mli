@@ -1,0 +1,36 @@
+(** Carter–Wegman polynomial hash families [11] — genuinely [t]-wise
+    independent hashing.
+
+    Lemma 4 requires a [Θ(log n)]-wise independent hash of
+    [Θ(log² n)] bits.  {!Cr_util.Digit_hash} uses a fast mixing hash in
+    the hot path; this module provides the {e reference} construction —
+    a random polynomial of degree [t − 1] over the Mersenne-prime field
+    [GF(2^61 − 1)], reduced to the target range — so that the
+    independence assumption itself can be validated (and the two can be
+    compared in tests).
+
+    For distinct inputs [x₁ … x_t], the values [h(x₁) … h(x_t)] are
+    independent and uniform over the field (exactly), hence near-uniform
+    over the reduced range. *)
+
+type t
+
+val make : seed:int -> degree:int -> range:int -> t
+(** [make ~seed ~degree ~range] draws a uniformly random polynomial of
+    the given degree (so the family is [degree + 1]-wise independent)
+    with outputs in [\[0, range)].
+    @raise Invalid_argument if [degree < 0] or [range < 1]. *)
+
+val hash : t -> int -> int
+(** Evaluate at a nonnegative input. *)
+
+val degree : t -> int
+
+val range : t -> int
+
+val independence : t -> int
+(** [degree + 1] — the [t] of [t]-wise independence. *)
+
+val storage_bits : t -> int
+(** [61 · (degree + 1)] bits of coefficients — the [Θ(log² n)] figure of
+    the paper when [degree = Θ(log n)]. *)

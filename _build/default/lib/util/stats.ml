@@ -1,0 +1,96 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let empty_summary =
+  { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (acc /. float_of_int n)
+  end
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty sample";
+  if n = 1 then sorted.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = pos -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+  end
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty sample";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  {
+    count = n;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    p50 = percentile sorted 0.5;
+    p90 = percentile sorted 0.9;
+    p99 = percentile sorted 0.99;
+  }
+
+let histogram ~buckets xs =
+  let nb = Array.length buckets in
+  let counts = Array.make (nb + 1) 0 in
+  let place x =
+    let rec find i = if i >= nb then nb else if x <= buckets.(i) then i else find (i + 1) in
+    find 0
+  in
+  Array.iter (fun x -> let i = place x in counts.(i) <- counts.(i) + 1) xs;
+  counts
+
+let cdf_at sorted x =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    (* binary search for the rightmost index with value <= x *)
+    let lo = ref (-1) and hi = ref n in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid) <= x then lo := mid else hi := mid
+    done;
+    float_of_int (!lo + 1) /. float_of_int n
+  end
+
+let linear_fit pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least two points";
+  let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    pts;
+  let fn = float_of_int n in
+  let denom = (fn *. !sxx) -. (!sx *. !sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate abscissae";
+  let a = ((fn *. !sxy) -. (!sx *. !sy)) /. denom in
+  let b = (!sy -. (a *. !sx)) /. fn in
+  (a, b)

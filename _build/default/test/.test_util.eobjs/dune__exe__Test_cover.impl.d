@@ -1,0 +1,1 @@
+test/test_cover.ml: Alcotest Array Cr_cover Cr_graph Cr_landmark Cr_tree Cr_util Float Hashtbl List Printf QCheck QCheck_alcotest Test

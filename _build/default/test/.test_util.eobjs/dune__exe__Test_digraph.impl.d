@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Array Cr_digraph Cr_graph Cr_util Float List Option Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Cr_graph Cr_util Filename Float Fun Hashtbl List Option Printf QCheck QCheck_alcotest Sys Test

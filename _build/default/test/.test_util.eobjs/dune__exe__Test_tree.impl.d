@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Cr_graph Cr_tree Cr_util Float Hashtbl List Option Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cr_util Float Gen Hashtbl List Printf QCheck QCheck_alcotest String Test

@@ -1,0 +1,374 @@
+(* Tests for the directed extension (paper §4): digraph substrate,
+   directed Dijkstra, SCC, round-trip metric, and the directed scheme. *)
+
+module Rng = Cr_util.Rng
+module Graph = Cr_graph.Graph
+module Generators = Cr_graph.Generators
+module D = Cr_digraph.Digraph
+module Dd = Cr_digraph.Ddijkstra
+module Scc = Cr_digraph.Scc
+module Dgen = Cr_digraph.Dgen
+module Rt = Cr_digraph.Rt
+module Dscheme = Cr_digraph.Dscheme
+module Dsim = Cr_digraph.Dsim
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf msg = Alcotest.(check (float 1e-9)) msg
+
+(* 0 -> 1 -> 2 -> 0 cycle plus shortcut 0 -> 2 *)
+let tri () = D.create ~n:3 [ (0, 1, 1.0); (1, 2, 1.0); (2, 0, 1.0); (0, 2, 3.0) ]
+
+(* ------------------------------------------------------------------ *)
+(* Digraph *)
+
+let test_digraph_basic () =
+  let g = tri () in
+  checki "n" 3 (D.n g);
+  checki "m" 4 (D.m g);
+  checki "outdeg 0" 2 (D.out_degree g 0);
+  checkb "has 0->1" true (D.has_arc g 0 1);
+  checkb "no 1->0" false (D.has_arc g 1 0);
+  checkf "w(0,2)" 3.0 (Option.get (D.arc_weight g 0 2));
+  checki "in-neighbors of 2" 2 (Array.length (D.in_neighbors g 2))
+
+let test_digraph_invalid () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  checkb "self loop" true (raises (fun () -> ignore (D.create ~n:2 [ (0, 0, 1.0) ])));
+  checkb "bad weight" true (raises (fun () -> ignore (D.create ~n:2 [ (0, 1, 0.0) ])));
+  checkb "range" true (raises (fun () -> ignore (D.create ~n:2 [ (0, 3, 1.0) ])))
+
+let test_digraph_parallel_min () =
+  let g = D.create ~n:2 [ (0, 1, 5.0); (0, 1, 2.0) ] in
+  checki "merged" 1 (D.m g);
+  checkf "min kept" 2.0 (Option.get (D.arc_weight g 0 1))
+
+let test_digraph_reverse () =
+  let g = tri () in
+  let r = D.reverse g in
+  checkb "reversed arc" true (D.has_arc r 1 0);
+  checkb "old direction gone" false (D.has_arc r 0 1);
+  checki "same m" 4 (D.m r)
+
+let test_digraph_of_graph () =
+  let ug = Graph.create ~n:3 [ (0, 1, 2.0); (1, 2, 1.0) ] in
+  let g = D.of_graph ug in
+  checki "arcs doubled" 4 (D.m g);
+  checkb "both directions" true (D.has_arc g 0 1 && D.has_arc g 1 0);
+  checkf "weight kept" 2.0 (Option.get (D.arc_weight g 1 0))
+
+let test_digraph_normalize_relabel () =
+  let g = D.create ~n:2 [ (0, 1, 4.0); (1, 0, 8.0) ] in
+  let g' = D.normalize g in
+  checkf "min 1" 1.0 (D.min_weight g');
+  let rng = Rng.create 3 in
+  let g'' = D.relabel rng g' in
+  checkb "names distinct" true (D.name_of g'' 0 <> D.name_of g'' 1)
+
+(* ------------------------------------------------------------------ *)
+(* Ddijkstra *)
+
+let test_ddijkstra_directed_distances () =
+  let g = tri () in
+  let res = Dd.run g 0 in
+  checkf "d(0,1)" 1.0 res.Dd.dist.(1);
+  checkf "d(0,2)" 2.0 res.Dd.dist.(2) (* via 1, not the weight-3 arc *);
+  let res1 = Dd.run g 1 in
+  checkf "d(1,0)" 2.0 res1.Dd.dist.(0) (* around the cycle *);
+  Alcotest.(check (list int)) "path" [ 0; 1; 2 ] (Dd.path_from_source res 2)
+
+let test_ddijkstra_reverse () =
+  let g = tri () in
+  let res = Dd.run_reverse g 2 in
+  (* dist.(v) = d(v, 2) *)
+  checkf "d(0,2)" 2.0 res.Dd.dist.(0);
+  checkf "d(1,2)" 1.0 res.Dd.dist.(1);
+  Alcotest.(check (list int)) "walk into source" [ 0; 1; 2 ] (Dd.path_to_source res 0);
+  (* the walk is arc-valid *)
+  let c, h = Dsim.walk_cost g (Dd.path_to_source res 0) in
+  checkf "cost" 2.0 c;
+  checki "hops" 2 h
+
+let test_ddijkstra_unreachable () =
+  let g = D.create ~n:3 [ (0, 1, 1.0) ] in
+  let res = Dd.run g 1 in
+  checkb "1 cannot reach 0" true (res.Dd.dist.(0) = infinity);
+  checkb "path raises" true (try ignore (Dd.path_from_source res 0); false with Not_found -> true)
+
+let test_ddijkstra_matches_undirected () =
+  (* on a symmetric digraph, directed distances equal undirected ones *)
+  let rng = Rng.create 7 in
+  let ug = Generators.erdos_renyi rng ~n:60 ~avg_degree:4.0 in
+  let g = D.of_graph ug in
+  let du = (Cr_graph.Dijkstra.run ug 0).Cr_graph.Dijkstra.dist in
+  let dd = (Dd.run g 0).Dd.dist in
+  Array.iteri (fun v d -> checkb "equal" true (Float.abs (d -. dd.(v)) < 1e-9)) du
+
+(* ------------------------------------------------------------------ *)
+(* Scc *)
+
+let test_scc_cycle_plus_tail () =
+  let g = D.create ~n:5 [ (0, 1, 1.0); (1, 2, 1.0); (2, 0, 1.0); (2, 3, 1.0); (3, 4, 1.0) ] in
+  let comp = Scc.components g in
+  checki "three sccs" 3 (Scc.count g);
+  checkb "cycle together" true (comp.(0) = comp.(1) && comp.(1) = comp.(2));
+  checkb "tail separate" true (comp.(3) <> comp.(0) && comp.(4) <> comp.(3));
+  checkb "not strongly connected" false (Scc.is_strongly_connected g);
+  Alcotest.(check (array int)) "largest" [| 0; 1; 2 |] (Scc.largest g)
+
+let test_scc_strongly_connected () =
+  let rng = Rng.create 11 in
+  let g = Dgen.directed_ring rng ~n:50 ~chords:10 in
+  checkb "ring strongly connected" true (Scc.is_strongly_connected g);
+  checki "one scc" 1 (Scc.count g)
+
+let test_scc_dag () =
+  let g = D.create ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ] in
+  checki "all singletons" 4 (Scc.count g)
+
+(* ------------------------------------------------------------------ *)
+(* generators *)
+
+let test_dgen_all_strongly_connected () =
+  let rng = Rng.create 13 in
+  checkb "ring" true (Scc.is_strongly_connected (Dgen.directed_ring rng ~n:40 ~chords:8));
+  checkb "er" true
+    (Scc.is_strongly_connected (Dgen.directed_erdos_renyi rng ~n:40 ~avg_out_degree:2.0));
+  let ug = Generators.random_geometric rng ~n:40 ~radius:0.3 in
+  checkb "asym" true (Scc.is_strongly_connected (Dgen.asymmetric_of_graph rng ug ~skew:3.0))
+
+let test_dgen_asymmetry () =
+  let rng = Rng.create 17 in
+  let ug = Generators.grid ~rows:4 ~cols:4 in
+  let g = Dgen.asymmetric_of_graph rng ug ~skew:4.0 in
+  (* opposite arcs exist with reciprocal-scaled weights *)
+  let asym = ref false in
+  Graph.iter_edges ug (fun u v _ ->
+      let a = Option.get (D.arc_weight g u v) and b = Option.get (D.arc_weight g v u) in
+      if Float.abs (a -. b) > 1e-9 then asym := true);
+  checkb "weights asymmetric" true !asym
+
+(* ------------------------------------------------------------------ *)
+(* Rt *)
+
+let test_rt_basics () =
+  let g = tri () in
+  let rt = Rt.compute g in
+  checkf "one-way 0->2" 2.0 (Rt.dist rt 0 2);
+  checkf "one-way 2->0" 1.0 (Rt.dist rt 2 0);
+  checkf "round trip symmetric" (Rt.rt rt 0 2) (Rt.rt rt 2 0);
+  checkf "rt value" 3.0 (Rt.rt rt 0 2);
+  checkb "strongly connected" true (Rt.strongly_connected rt)
+
+let test_rt_metric_properties () =
+  (* dRT is a metric: symmetric and triangle inequality *)
+  let rng = Rng.create 19 in
+  let g = Dgen.directed_erdos_renyi rng ~n:40 ~avg_out_degree:3.0 in
+  let rt = Rt.compute g in
+  for u = 0 to 39 do
+    for v = 0 to 39 do
+      checkb "symmetric" true (Float.abs (Rt.rt rt u v -. Rt.rt rt v u) < 1e-9);
+      for w = 0 to 19 do
+        checkb "triangle" true (Rt.rt rt u v <= Rt.rt rt u w +. Rt.rt rt w v +. 1e-9)
+      done
+    done
+  done
+
+let test_rt_sorted_and_balls () =
+  let rng = Rng.create 23 in
+  let g = Dgen.directed_ring rng ~n:30 ~chords:5 in
+  let rt = Rt.compute g in
+  let s = Rt.rt_sorted rt 0 in
+  checki "all nodes" 30 (Array.length s);
+  checki "self first" 0 (fst s.(0));
+  let ok = ref true in
+  for i = 0 to Array.length s - 2 do
+    if snd s.(i) > snd s.(i + 1) then ok := false
+  done;
+  checkb "sorted" true !ok;
+  checki "ball size consistent" (Array.length (Rt.rt_ball rt 0 5.0)) (Rt.rt_ball_size rt 0 5.0)
+
+(* ------------------------------------------------------------------ *)
+(* Dscheme *)
+
+let directed_workloads seed =
+  let rng = Rng.create seed in
+  [
+    ("dring", Dgen.directed_ring rng ~n:80 ~chords:30);
+    ("der", Dgen.directed_erdos_renyi rng ~n:80 ~avg_out_degree:3.0);
+    ( "asym",
+      Dgen.asymmetric_of_graph rng (Generators.random_geometric rng ~n:80 ~radius:0.22) ~skew:3.0 );
+  ]
+
+let test_dscheme_delivers_everywhere () =
+  List.iter
+    (fun (name, g) ->
+      let g = D.normalize (D.relabel (Rng.create 29) g) in
+      let rt = Rt.compute g in
+      let sch = Dscheme.build ~k:3 rt in
+      let n = D.n g in
+      for s = 0 to n - 1 do
+        let d = (s + (n / 2)) mod n in
+        if s <> d then begin
+          let m = Dsim.measure rt sch s d in
+          checkb (Printf.sprintf "%s %d->%d delivered" name s d) true m.Dsim.delivered
+        end
+      done)
+    (directed_workloads 31)
+
+let test_dscheme_walks_are_directed () =
+  (* Dsim.measure raises if any hop violates arc direction; exercise many *)
+  let rng = Rng.create 37 in
+  let g = D.normalize (Dgen.directed_ring rng ~n:60 ~chords:20) in
+  let rt = Rt.compute g in
+  let sch = Dscheme.build ~k:2 rt in
+  for s = 0 to 59 do
+    for d = 0 to 59 do
+      if (s + d) mod 7 = 0 && s <> d then ignore (Dsim.measure rt sch s d)
+    done
+  done;
+  checkb "no invalid walks" true true
+
+let test_dscheme_rt_stretch_bounded () =
+  (* the directed guarantee is O(k) vs the round-trip metric *)
+  List.iter
+    (fun (name, g) ->
+      let g = D.normalize (D.relabel (Rng.create 41) g) in
+      let rt = Rt.compute g in
+      let k = 3 in
+      let sch = Dscheme.build ~k rt in
+      let rng = Rng.create 43 in
+      let n = D.n g in
+      for _ = 1 to 200 do
+        let s = Rng.int rng n and d = Rng.int rng n in
+        if s <> d then begin
+          let m = Dsim.measure rt sch s d in
+          checkb
+            (Printf.sprintf "%s rt-stretch %.2f bounded" name m.Dsim.rt_stretch)
+            true
+            (m.Dsim.rt_stretch <= 16.0 *. float_of_int k)
+        end
+      done)
+    (directed_workloads 47)
+
+let test_dscheme_self_route () =
+  let rng = Rng.create 53 in
+  let g = D.normalize (Dgen.directed_ring rng ~n:20 ~chords:4) in
+  let rt = Rt.compute g in
+  let sch = Dscheme.build rt in
+  let r = Dscheme.route sch 5 5 in
+  checkb "self" true r.Dscheme.delivered;
+  Alcotest.(check (list int)) "trivial walk" [ 5 ] r.Dscheme.walk
+
+let test_dscheme_requires_strong_connectivity () =
+  let g = D.create ~n:3 [ (0, 1, 1.0); (1, 2, 1.0) ] in
+  let rt = Rt.compute g in
+  checkb "rejected" true
+    (try ignore (Dscheme.build rt); false with Invalid_argument _ -> true)
+
+let test_dscheme_storage_positive () =
+  let rng = Rng.create 59 in
+  let g = D.normalize (Dgen.directed_erdos_renyi rng ~n:50 ~avg_out_degree:3.0) in
+  let rt = Rt.compute g in
+  let sch = Dscheme.build ~k:3 rt in
+  for v = 0 to 49 do
+    checkb "stores something" true (Dscheme.node_storage_bits sch v > 0)
+  done;
+  checkb "mean <= max" true (Dscheme.mean_storage_bits sch <= float_of_int (Dscheme.max_storage_bits sch))
+
+let test_dscheme_k1 () =
+  let rng = Rng.create 61 in
+  let g = D.normalize (Dgen.directed_ring rng ~n:24 ~chords:6) in
+  let rt = Rt.compute g in
+  let sch = Dscheme.build ~k:1 rt in
+  for s = 0 to 23 do
+    let d = (s + 7) mod 24 in
+    if s <> d then checkb "k=1 delivers" true (Dsim.measure rt sch s d).Dsim.delivered
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"directed scheme delivers on random strongly connected digraphs" ~count:8
+      (pair (int_range 0 300) (int_range 20 50))
+      (fun (seed, n) ->
+        let rng = Rng.create seed in
+        let g = D.normalize (D.relabel rng (Dgen.directed_erdos_renyi rng ~n ~avg_out_degree:2.5)) in
+        let rt = Rt.compute g in
+        let sch = Dscheme.build ~k:2 ~seed rt in
+        let ok = ref true in
+        for _ = 1 to 25 do
+          let s = Rng.int rng n and d = Rng.int rng n in
+          if s <> d then begin
+            let m = Dsim.measure rt sch s d in
+            if not m.Dsim.delivered then ok := false
+          end
+        done;
+        !ok);
+    Test.make ~name:"round-trip metric is a metric" ~count:10
+      (int_range 0 500)
+      (fun seed ->
+        let rng = Rng.create seed in
+        let g = Dgen.directed_ring rng ~n:25 ~chords:8 in
+        let rt = Rt.compute g in
+        let ok = ref true in
+        for u = 0 to 24 do
+          for v = 0 to 24 do
+            if Float.abs (Rt.rt rt u v -. Rt.rt rt v u) > 1e-9 then ok := false;
+            if u = v && Rt.rt rt u v <> 0.0 then ok := false
+          done
+        done;
+        !ok);
+  ]
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  Alcotest.run "digraph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "basic" `Quick test_digraph_basic;
+          Alcotest.test_case "invalid" `Quick test_digraph_invalid;
+          Alcotest.test_case "parallel min" `Quick test_digraph_parallel_min;
+          Alcotest.test_case "reverse" `Quick test_digraph_reverse;
+          Alcotest.test_case "of_graph" `Quick test_digraph_of_graph;
+          Alcotest.test_case "normalize/relabel" `Quick test_digraph_normalize_relabel;
+        ] );
+      ( "ddijkstra",
+        [
+          Alcotest.test_case "directed distances" `Quick test_ddijkstra_directed_distances;
+          Alcotest.test_case "reverse search" `Quick test_ddijkstra_reverse;
+          Alcotest.test_case "unreachable" `Quick test_ddijkstra_unreachable;
+          Alcotest.test_case "matches undirected" `Quick test_ddijkstra_matches_undirected;
+        ] );
+      ( "scc",
+        [
+          Alcotest.test_case "cycle plus tail" `Quick test_scc_cycle_plus_tail;
+          Alcotest.test_case "strongly connected" `Quick test_scc_strongly_connected;
+          Alcotest.test_case "dag" `Quick test_scc_dag;
+        ] );
+      ( "dgen",
+        [
+          Alcotest.test_case "strong connectivity" `Quick test_dgen_all_strongly_connected;
+          Alcotest.test_case "asymmetry" `Quick test_dgen_asymmetry;
+        ] );
+      ( "rt",
+        [
+          Alcotest.test_case "basics" `Quick test_rt_basics;
+          Alcotest.test_case "metric properties" `Quick test_rt_metric_properties;
+          Alcotest.test_case "sorted and balls" `Quick test_rt_sorted_and_balls;
+        ] );
+      ( "dscheme",
+        [
+          Alcotest.test_case "delivers everywhere" `Quick test_dscheme_delivers_everywhere;
+          Alcotest.test_case "walks directed" `Quick test_dscheme_walks_are_directed;
+          Alcotest.test_case "rt stretch bounded" `Quick test_dscheme_rt_stretch_bounded;
+          Alcotest.test_case "self route" `Quick test_dscheme_self_route;
+          Alcotest.test_case "needs strong connectivity" `Quick test_dscheme_requires_strong_connectivity;
+          Alcotest.test_case "storage positive" `Quick test_dscheme_storage_positive;
+          Alcotest.test_case "k=1" `Quick test_dscheme_k1;
+        ] );
+      ("properties", qsuite);
+    ]
