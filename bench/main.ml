@@ -809,12 +809,61 @@ let f4 () =
   Printf.printf "(one AGM06 route executes up to k phases of tree searches.)\n"
 
 (* ------------------------------------------------------------------ *)
+(* R1: resilience — graceful degradation under edge failures           *)
+
+let r1 () =
+  header "R1: fault injection — delivery ratio & stretch under growing edge-failure rates";
+  let module Fsim = Cr_resilience.Fsim in
+  let module Sweep = Cr_resilience.Sweep in
+  let n = scale 192 in
+  let g = Experiment.make_graph ~seed:161 (Experiment.Erdos_renyi { n; avg_degree = 4.0 }) in
+  let apsp = Apsp.compute g in
+  let pairs = Experiment.default_pairs ~seed:162 apsp ~count:(scale 600) in
+  let schemes =
+    [ Agm06.scheme (agm ~k:3 apsp); Baseline_tz.build ~k:3 apsp; Baseline_tree.build apsp ]
+  in
+  let rates = [ 0.0; 0.02; 0.05; 0.1; 0.2 ] in
+  let table =
+    T.create
+      ~title:
+        (Printf.sprintf "erdos-renyi n=%d, %d pairs, independent edge failures, fixed seed" n
+           (Array.length pairs))
+      [
+        ("scheme", T.Left); ("rate", T.Right); ("no-retry ratio", T.Right);
+        ("3-retry ratio", T.Right); ("stretch mean", T.Right); ("retries", T.Right);
+        ("drops", T.Right); ("loops", T.Right);
+      ]
+  in
+  let p0 = Fsim.default_policy g in
+  let p3 = Fsim.default_policy ~max_retries:3 g in
+  let run policy = Sweep.sweep ~policy ~model:Sweep.Edges ~seed:163 ~rates apsp schemes pairs in
+  let last_scheme = ref "" in
+  List.iter2
+    (fun (c0 : Sweep.cell) (c3 : Sweep.cell) ->
+      if !last_scheme <> "" && !last_scheme <> c0.Sweep.scheme then T.add_sep table;
+      last_scheme := c0.Sweep.scheme;
+      T.add_row table
+        [
+          c0.Sweep.scheme; Printf.sprintf "%.2f" c0.Sweep.rate;
+          Printf.sprintf "%.3f" (Sweep.delivery_ratio c0);
+          Printf.sprintf "%.3f" (Sweep.delivery_ratio c3);
+          T.fmt_float c3.Sweep.stretch.Stats.mean;
+          string_of_int c3.Sweep.retries_total; string_of_int c3.Sweep.dropped;
+          string_of_int c3.Sweep.loops;
+        ])
+    (run p0) (run p3);
+  T.print table;
+  Printf.printf
+    "expected: every ratio column is 1.000 at rate 0 and monotone non-increasing;\n\
+     bounded retries buy back part of the loss at low rates at a small stretch cost.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("T1", t1); ("T1b", t1b); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5); ("T6", t6);
     ("T7", t7); ("T8", t8); ("T9", t9); ("F1", f1); ("F2", f2); ("F3", f3); ("A1", a1);
-    ("A2", a2); ("F4", f4);
+    ("A2", a2); ("F4", f4); ("R1", r1);
   ]
 
 let () =

@@ -7,6 +7,10 @@
      covers      build a sparse cover and report its Lemma 6 numbers
      route       route one message with a chosen scheme, printing the walk
      eval        compare schemes on sampled pairs (one table)
+     tables      dump one node's AGM06 routing table
+     resilience  fault-injection degradation sweep: delivery ratio,
+                 stretch-of-delivered, retries and kill reasons per
+                 (scheme, failure rate) cell, plus JSON lines
 *)
 
 module Rng = Cr_util.Rng
@@ -64,11 +68,26 @@ let aspect_arg =
 
 let load_graph ~seed ~graph_file ~workload ~aspect =
   match graph_file with
-  | Some path -> Graph.normalize (Gio.load path)
+  | Some path -> (
+      try Graph.normalize (Gio.load path) with
+      | Gio.Parse_error (line, reason) ->
+          Printf.eprintf "crt: %s: line %d: %s\n" path line reason;
+          exit 1
+      | Sys_error msg ->
+          Printf.eprintf "crt: %s\n" msg;
+          exit 1)
   | None -> (
       match aspect with
       | None -> Experiment.make_graph ~seed workload
       | Some a -> Experiment.make_graph_with_aspect ~seed ~target_aspect:a workload)
+
+let sample_pairs_exn ~seed apsp ~count =
+  try Experiment.default_pairs ~seed apsp ~count
+  with Compact_routing.Simulator.Sample_shortfall { requested; found } ->
+    Printf.eprintf
+      "crt: only %d of %d requested connected pairs exist; is the graph disconnected? (lower --pairs or use a connected workload)\n"
+      found requested;
+    exit 1
 
 (* ---------- generate ---------- *)
 
@@ -203,7 +222,7 @@ let eval_cmd =
   let run seed k workload graph_file aspect schemes pairs_n csv =
     let g = load_graph ~seed ~graph_file ~workload ~aspect in
     let apsp = Apsp.compute_parallel g in
-    let pairs = Experiment.default_pairs ~seed:(seed + 1) apsp ~count:pairs_n in
+    let pairs = sample_pairs_exn ~seed:(seed + 1) apsp ~count:pairs_n in
     let table =
       T.create
         ~title:(Printf.sprintf "%s, %d pairs, k=%d" (Experiment.workload_name workload) pairs_n k)
@@ -244,7 +263,101 @@ let eval_cmd =
   Cmd.v (Cmd.info "eval" ~doc:"Compare schemes on sampled pairs.")
     Term.(const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ schemes_arg $ pairs_n $ csv_arg)
 
+(* ---------- resilience ---------- *)
+
+let resilience_cmd =
+  let module Sweep = Cr_resilience.Sweep in
+  let module Fsim = Cr_resilience.Fsim in
+  let pairs_n = Arg.(value & opt int 400 & info [ "pairs" ] ~docv:"P" ~doc:"Number of sampled source-destination pairs.") in
+  let schemes_arg =
+    Arg.(value & opt (list string) [ "agm06"; "tz"; "tree"; "full" ]
+         & info [ "schemes" ] ~docv:"LIST" ~doc:"Comma-separated schemes to sweep.")
+  in
+  let rate_conv =
+    Arg.conv
+      ( (fun s ->
+          match float_of_string_opt s with
+          | Some r when r >= 0.0 && r <= 1.0 -> Ok r
+          | Some r -> Error (`Msg (Printf.sprintf "rate %g outside [0, 1]" r))
+          | None -> Error (`Msg (Printf.sprintf "invalid rate %S, expected a float in [0, 1]" s))),
+        fun fmt r -> Format.fprintf fmt "%g" r )
+  in
+  let rates_arg =
+    Arg.(value & opt (list rate_conv) Sweep.default_rates
+         & info [ "rates" ] ~docv:"LIST" ~doc:"Comma-separated failure rates in [0,1].")
+  in
+  let model_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun m -> `Msg m) (Sweep.model_of_string s)),
+        fun fmt m -> Format.pp_print_string fmt (Sweep.model_to_string m) )
+  in
+  let model_arg =
+    Arg.(value & opt model_conv Sweep.Edges
+         & info [ "model" ] ~docv:"M" ~doc:"Fault model: edges (independent edge failure), nodes (fail-stop crashes), targeted (most-traversed edges).")
+  in
+  let ttl_arg =
+    Arg.(value & opt (some int) None & info [ "ttl" ] ~docv:"T" ~doc:"Hop budget per message (default max 256 (16n)).")
+  in
+  let retries_arg =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"R" ~doc:"Bounded reroute attempts after a stall (default 0).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the per-cell JSON lines to FILE instead of stdout.")
+  in
+  let run seed k workload graph_file aspect schemes pairs_n rates model ttl retries json =
+    let g = load_graph ~seed ~graph_file ~workload ~aspect in
+    let apsp = Apsp.compute_parallel g in
+    let pairs = sample_pairs_exn ~seed:(seed + 1) apsp ~count:pairs_n in
+    let policy = Fsim.default_policy ?ttl ~max_retries:retries g in
+    let schemes = List.map (fun name -> build_scheme apsp ~k ~seed name) schemes in
+    let cells = Sweep.sweep ~policy ~model ~seed:(seed + 2) ~rates apsp schemes pairs in
+    let table =
+      T.create
+        ~title:
+          (Printf.sprintf "%s, %d pairs, k=%d, model=%s, ttl=%d, retries<=%d"
+             (Experiment.workload_name workload) (Array.length pairs) k
+             (Sweep.model_to_string model) policy.Fsim.ttl policy.Fsim.max_retries)
+        [
+          ("scheme", T.Left); ("rate", T.Right); ("delivered", T.Right); ("ratio", T.Right);
+          ("stretch mean", T.Right); ("p99", T.Right); ("retries", T.Right);
+          ("drops", T.Right); ("ttl", T.Right); ("loops", T.Right);
+        ]
+    in
+    let last_scheme = ref "" in
+    List.iter
+      (fun (c : Sweep.cell) ->
+        if !last_scheme <> "" && !last_scheme <> c.Sweep.scheme then T.add_sep table;
+        last_scheme := c.Sweep.scheme;
+        T.add_row table
+          [
+            c.Sweep.scheme; Printf.sprintf "%.3g" c.Sweep.rate;
+            Printf.sprintf "%d/%d" c.Sweep.delivered c.Sweep.pairs;
+            Printf.sprintf "%.3f" (Sweep.delivery_ratio c);
+            T.fmt_float c.Sweep.stretch.Cr_util.Stats.mean;
+            T.fmt_float c.Sweep.stretch.Cr_util.Stats.p99;
+            string_of_int c.Sweep.retries_total; string_of_int c.Sweep.dropped;
+            string_of_int c.Sweep.ttl_kills; string_of_int c.Sweep.loops;
+          ])
+      cells;
+    T.print table;
+    let lines = List.map Sweep.cell_to_json cells in
+    match json with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines);
+        Printf.printf "json written to %s\n" path
+    | None -> List.iter print_endline lines
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:"Fault-injection sweep: graceful degradation per scheme and failure rate.")
+    Term.(
+      const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ schemes_arg
+      $ pairs_n $ rates_arg $ model_arg $ ttl_arg $ retries_arg $ json_arg)
+
 let () =
   let doc = "compact-routing toolbox: the AGM'06 scale-free name-independent scheme and its comparators" in
-  let main = Cmd.group (Cmd.info "crt" ~doc) [ generate_cmd; info_cmd; decompose_cmd; covers_cmd; route_cmd; eval_cmd; tables_cmd ] in
+  let main = Cmd.group (Cmd.info "crt" ~doc) [ generate_cmd; info_cmd; decompose_cmd; covers_cmd; route_cmd; eval_cmd; tables_cmd; resilience_cmd ] in
   exit (Cmd.eval main)

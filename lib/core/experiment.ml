@@ -76,9 +76,9 @@ let run_scheme apsp (scheme : Scheme.t) ~pairs =
 
 let compare_schemes apsp schemes ~pairs = List.map (fun s -> run_scheme apsp s ~pairs) schemes
 
-let default_pairs ~seed apsp ~count =
+let default_pairs ?allow_short ~seed apsp ~count =
   let rng = Rng.create seed in
-  Simulator.sample_pairs rng apsp ~count
+  Simulator.sample_pairs ?allow_short rng apsp ~count
 
 let rows_to_csv rows =
   let buf = Buffer.create 512 in

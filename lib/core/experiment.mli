@@ -43,7 +43,9 @@ val compare_schemes :
   Cr_graph.Apsp.t -> Scheme.t list -> pairs:(int * int) array -> row list
 
 val default_pairs :
-  seed:int -> Cr_graph.Apsp.t -> count:int -> (int * int) array
+  ?allow_short:bool -> seed:int -> Cr_graph.Apsp.t -> count:int -> (int * int) array
+(** Seed-deterministic {!Simulator.sample_pairs}.
+    @raise Simulator.Sample_shortfall unless [allow_short] is [true]. *)
 
 val rows_to_csv : row list -> string
 (** Header line plus one comma-separated line per row — for plotting the

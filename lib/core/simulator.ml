@@ -3,6 +3,26 @@ module Apsp = Cr_graph.Apsp
 module Stats = Cr_util.Stats
 module Rng = Cr_util.Rng
 
+type outcome =
+  | Delivered
+  | No_route
+  | Dropped_at_fault of int * int
+  | Ttl_exceeded
+  | Loop_detected
+  | Invalid_hop of string
+
+let outcome_to_string = function
+  | Delivered -> "delivered"
+  | No_route -> "no-route"
+  | Dropped_at_fault (u, v) ->
+      if u = v then Printf.sprintf "dropped-at-fault(node %d)" u
+      else Printf.sprintf "dropped-at-fault(%d-%d)" u v
+  | Ttl_exceeded -> "ttl-exceeded"
+  | Loop_detected -> "loop-detected"
+  | Invalid_hop msg -> Printf.sprintf "invalid-hop(%s)" msg
+
+let is_delivered = function Delivered -> true | _ -> false
+
 type measured = {
   src : int;
   dst : int;
@@ -14,43 +34,61 @@ type measured = {
 
 exception Invalid_walk of string
 
-let walk_cost g walk =
+type checked = { outcome : outcome; checked_cost : float; checked_hops : int }
+
+(* Shared validation core: walks cost along the walk until it either ends
+   or hits an anomaly, and never raises.  The cost/hops cover the valid
+   prefix. *)
+let check_walk g ~src ~dst ~delivered walk =
+  let n = Graph.n g in
+  let bad msg cost hops = { outcome = Invalid_hop msg; checked_cost = cost; checked_hops = hops } in
   match walk with
-  | [] -> raise (Invalid_walk "empty walk")
-  | first :: _ ->
-      ignore first;
+  | [] -> bad "empty walk" 0.0 0
+  | first :: _ when first <> src ->
+      bad (Printf.sprintf "walk starts at %d, not source %d" first src) 0.0 0
+  | first :: _ when first < 0 || first >= n ->
+      bad (Printf.sprintf "node %d out of range" first) 0.0 0
+  | _ ->
       let rec go cost hops = function
-        | a :: (b :: _ as rest) -> (
-            match Graph.edge_weight g a b with
-            | Some w -> go (cost +. w) (hops + 1) rest
-            | None -> raise (Invalid_walk (Printf.sprintf "non-edge %d-%d" a b)))
-        | _ -> (cost, hops)
+        | a :: (b :: _ as rest) ->
+            if b < 0 || b >= n then bad (Printf.sprintf "node %d out of range" b) cost hops
+            else (
+              match Graph.edge_weight g a b with
+              | Some w -> go (cost +. w) (hops + 1) rest
+              | None -> bad (Printf.sprintf "non-edge %d-%d" a b) cost hops)
+        | [ last ] ->
+            if delivered && last <> dst then
+              bad (Printf.sprintf "claimed delivery but walk ends at %d, not %d" last dst) cost hops
+            else
+              { outcome = (if delivered then Delivered else No_route);
+                checked_cost = cost; checked_hops = hops }
+        | [] -> assert false
       in
       go 0.0 0 walk
+
+let walk_cost g walk =
+  (* endpoint checks do not apply here: any well-formed walk prices *)
+  match walk with
+  | [] -> raise (Invalid_walk "empty walk")
+  | first :: _ -> (
+      let c = check_walk g ~src:first ~dst:first ~delivered:false walk in
+      match c.outcome with
+      | Invalid_hop msg -> raise (Invalid_walk msg)
+      | _ -> (c.checked_cost, c.checked_hops))
 
 let measure apsp (scheme : Scheme.t) src dst =
   let g = Apsp.graph apsp in
   let r = scheme.Scheme.route src dst in
-  let walk = r.Scheme.walk in
-  (match walk with
-  | [] -> raise (Invalid_walk "empty walk")
-  | first :: _ -> if first <> src then raise (Invalid_walk "walk does not start at source"));
-  if r.Scheme.delivered then begin
-    match List.rev walk with
-    | last :: _ ->
-        if last <> dst then
-          raise (Invalid_walk (Printf.sprintf "claimed delivery but walk ends at %d, not %d" last dst))
-    | [] -> assert false
-  end;
-  let cost, hops = walk_cost g walk in
+  let c = check_walk g ~src ~dst ~delivered:r.Scheme.delivered r.Scheme.walk in
+  (match c.outcome with Invalid_hop msg -> raise (Invalid_walk msg) | _ -> ());
   let d = Apsp.distance apsp src dst in
   let stretch =
     if not r.Scheme.delivered then infinity
     else if src = dst then 1.0
     else if d = 0.0 || d = infinity then infinity
-    else cost /. d
+    else c.checked_cost /. d
   in
-  { src; dst; delivered = r.Scheme.delivered; cost; hops; stretch }
+  { src; dst; delivered = r.Scheme.delivered; cost = c.checked_cost; hops = c.checked_hops; stretch }
 
 type aggregate = {
   pairs : int;
@@ -83,7 +121,19 @@ let evaluate apsp scheme pairs =
     stretches = stretch_arr;
   }
 
-let sample_pairs rng apsp ~count =
+exception Sample_shortfall of { requested : int; found : int }
+
+let () =
+  Printexc.register_printer (function
+    | Sample_shortfall { requested; found } ->
+        Some
+          (Printf.sprintf
+             "Simulator.Sample_shortfall: only %d of %d requested connected pairs found \
+              (sparse or near-disconnected graph)"
+             found requested)
+    | _ -> None)
+
+let sample_pairs ?(allow_short = false) rng apsp ~count =
   let n = Graph.n (Apsp.graph apsp) in
   if n < 2 then invalid_arg "Simulator.sample_pairs: n < 2";
   let out = ref [] in
@@ -97,4 +147,6 @@ let sample_pairs rng apsp ~count =
       incr found
     end
   done;
+  if !found < count && not allow_short then
+    raise (Sample_shortfall { requested = count; found = !found });
   Array.of_list !out

@@ -3,7 +3,28 @@
     Schemes produce walks; this module is the referee: it checks that a
     walk is realizable in the network (consecutive nodes adjacent, right
     endpoints), prices it, and compares it to the true shortest-path
-    distance from the all-pairs ground truth. *)
+    distance from the all-pairs ground truth.
+
+    Every anomaly a walk can exhibit is classified by the shared
+    {!outcome} type, which the failure-aware replay in
+    [Cr_resilience.Fsim] reuses: there, faults, hop budgets and loops
+    produce the additional constructors. *)
+
+type outcome =
+  | Delivered  (** walk is valid and ends at the destination *)
+  | No_route  (** scheme honestly reported non-delivery; walk is valid *)
+  | Dropped_at_fault of int * int
+      (** message stalled on a failed edge [(u,v)] or crashed node
+          ([(v,v)]); produced by the failure-aware simulator *)
+  | Ttl_exceeded  (** hop budget exhausted before delivery *)
+  | Loop_detected  (** the forwarding trace revisited a state: a routing loop *)
+  | Invalid_hop of string
+      (** the walk itself is malformed: wrong endpoints, a non-edge, or a
+          node index out of range *)
+
+val outcome_to_string : outcome -> string
+
+val is_delivered : outcome -> bool
 
 type measured = {
   src : int;
@@ -15,14 +36,28 @@ type measured = {
 }
 
 exception Invalid_walk of string
-(** Raised when a scheme emits a walk that is not realizable. *)
+(** Raised by the legacy entry points when a scheme emits a walk that is
+    not realizable ({!check_walk} classified it as [Invalid_hop]). *)
+
+type checked = {
+  outcome : outcome;  (** [Delivered], [No_route] or [Invalid_hop] *)
+  checked_cost : float;  (** weight of the valid prefix *)
+  checked_hops : int;
+}
+
+val check_walk :
+  Cr_graph.Graph.t -> src:int -> dst:int -> delivered:bool -> int list -> checked
+(** Structured, non-raising walk validation: endpoint checks, range
+    checks and edge-existence checks, pricing the longest valid prefix.
+    Never raises. *)
 
 val walk_cost : Cr_graph.Graph.t -> int list -> float * int
 (** Cost and hop count of a walk.
     @raise Invalid_walk on a non-edge or an empty walk. *)
 
 val measure : Cr_graph.Apsp.t -> Scheme.t -> int -> int -> measured
-(** Routes [src → dst] through the scheme and validates/prices the result.
+(** Routes [src → dst] through the scheme and validates/prices the result
+    via {!check_walk}.
     @raise Invalid_walk if the walk is malformed (wrong endpoints,
     non-edges, or claimed delivery to the wrong node). *)
 
@@ -38,7 +73,16 @@ val evaluate : Cr_graph.Apsp.t -> Scheme.t -> (int * int) array -> aggregate
 (** Measures every pair and summarizes.  Undelivered pairs count in
     [pairs] but not in the stretch statistics. *)
 
+exception Sample_shortfall of { requested : int; found : int }
+(** Raised by {!sample_pairs} when the rejection-sampling guard expired
+    before finding the requested number of connected pairs — aggregates
+    must never be computed over a quietly truncated sample. *)
+
 val sample_pairs :
+  ?allow_short:bool ->
   Cr_util.Rng.t -> Cr_graph.Apsp.t -> count:int -> (int * int) array
 (** Samples distinct connected [src ≠ dst] pairs uniformly (with
-    replacement across pairs). *)
+    replacement across pairs).
+    @raise Sample_shortfall if fewer than [count] pairs were found on a
+    sparse or near-disconnected graph, unless [allow_short] is [true]
+    (in which case the short array is returned). *)

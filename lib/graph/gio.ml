@@ -1,3 +1,10 @@
+exception Parse_error of int * string
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error (line, msg) -> Some (Printf.sprintf "Gio.Parse_error: line %d: %s" line msg)
+    | _ -> None)
+
 let to_string g =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf (Printf.sprintf "graph %d %d\n" (Graph.n g) (Graph.m g));
@@ -10,27 +17,73 @@ let to_string g =
   Buffer.contents buf
 
 let of_string s =
+  let fail lineno fmt = Printf.ksprintf (fun msg -> raise (Parse_error (lineno, msg))) fmt in
+  let parse_int lineno what tok =
+    match int_of_string_opt tok with
+    | Some v -> v
+    | None -> fail lineno "malformed %s %S (expected an integer)" what tok
+  in
+  let parse_float lineno what tok =
+    match float_of_string_opt tok with
+    | Some v -> v
+    | None -> fail lineno "malformed %s %S (expected a number)" what tok
+  in
   let lines = String.split_on_char '\n' s in
   let n = ref (-1) in
   let names = ref [] in
+  (* (lineno, u, v, w) — kept for range re-checks once [n] is known *)
   let edges = ref [] in
-  let parse_line lineno line =
+  let parse_line i line =
+    let lineno = i + 1 in
     let line = String.trim line in
     if line = "" || line.[0] = '#' then ()
     else begin
       match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
-      | [ "graph"; sn; _sm ] -> n := int_of_string sn
-      | [ "name"; su; sname ] -> names := (int_of_string su, int_of_string sname) :: !names
+      | [ "graph"; sn; sm ] ->
+          if !n >= 0 then fail lineno "duplicate graph header";
+          let hn = parse_int lineno "node count" sn in
+          ignore (parse_int lineno "edge count" sm);
+          if hn < 0 then fail lineno "negative node count %d" hn;
+          n := hn
+      | [ "name"; su; sname ] ->
+          let u = parse_int lineno "node index" su in
+          let nm = parse_int lineno "identifier" sname in
+          names := (lineno, u, nm) :: !names
       | [ "edge"; su; sv; sw ] ->
-          edges := (int_of_string su, int_of_string sv, float_of_string sw) :: !edges
-      | _ -> invalid_arg (Printf.sprintf "Gio.of_string: bad line %d: %S" lineno line)
+          let u = parse_int lineno "endpoint" su in
+          let v = parse_int lineno "endpoint" sv in
+          let w = parse_float lineno "weight" sw in
+          if u = v then fail lineno "self-loop at node %d" u;
+          if not (Float.is_finite w) || w <= 0.0 then
+            fail lineno "edge weight %g must be positive and finite" w;
+          edges := (lineno, u, v, w) :: !edges
+      | ("graph" | "name" | "edge") :: _ as toks ->
+          fail lineno "wrong number of fields for %S record" (List.hd toks)
+      | _ -> fail lineno "unrecognized record %S" line
     end
   in
   List.iteri parse_line lines;
-  if !n < 0 then invalid_arg "Gio.of_string: missing graph header";
-  let name_arr = Array.init !n (fun i -> i) in
-  List.iter (fun (u, nm) -> name_arr.(u) <- nm) !names;
-  Graph.create ~names:name_arr ~n:!n !edges
+  if !n < 0 then raise (Parse_error (0, "missing graph header"));
+  let n = !n in
+  let check_index lineno what u =
+    if u < 0 || u >= n then fail lineno "%s %d out of range [0, %d)" what u n
+  in
+  let name_arr = Array.init n (fun i -> i) in
+  List.iter
+    (fun (lineno, u, nm) ->
+      check_index lineno "node index" u;
+      name_arr.(u) <- nm)
+    !names;
+  let edge_list =
+    List.rev_map
+      (fun (lineno, u, v, w) ->
+        check_index lineno "edge endpoint" u;
+        check_index lineno "edge endpoint" v;
+        (u, v, w))
+      !edges
+  in
+  try Graph.create ~names:name_arr ~n edge_list
+  with Invalid_argument msg -> raise (Parse_error (0, msg))
 
 let save g path =
   let oc = open_out path in

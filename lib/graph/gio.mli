@@ -8,14 +8,21 @@
     v}
     Round-trips exactly through {!to_string} / {!of_string}. *)
 
+exception Parse_error of int * string
+(** [Parse_error (line, reason)] — every malformed input case (bad
+    integers or floats, out-of-range node indexes, negative weights,
+    self-loops, unknown records, a missing or duplicate header) raises
+    this, with the 1-based line number ([0] when the error is global,
+    e.g. a missing header). *)
+
 val to_string : Graph.t -> string
 
 val of_string : string -> Graph.t
-(** @raise Invalid_argument on malformed input. *)
+(** @raise Parse_error on malformed input. *)
 
 val save : Graph.t -> string -> unit
 (** [save g path] writes {!to_string} to a file. *)
 
 val load : string -> Graph.t
 (** [load path] parses a file.
-    @raise Sys_error or [Invalid_argument]. *)
+    @raise Sys_error or {!Parse_error}. *)

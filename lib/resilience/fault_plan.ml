@@ -1,0 +1,88 @@
+module Graph = Cr_graph.Graph
+module Rng = Cr_util.Rng
+
+type t = {
+  graph : Graph.t;
+  dead_edges : (int * int, unit) Hashtbl.t;  (* canonical (min u v, max u v) keys *)
+  dead_nodes : bool array;
+  label : string;
+}
+
+let key u v = if u <= v then (u, v) else (v, u)
+
+let make g ~dead_edges ~dead_nodes ~label = { graph = g; dead_edges; dead_nodes; label }
+
+let none g =
+  make g ~dead_edges:(Hashtbl.create 1) ~dead_nodes:(Array.make (Graph.n g) false)
+    ~label:"none"
+
+let check_rate rate =
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg (Printf.sprintf "Fault_plan: rate %g outside [0, 1]" rate)
+
+(* Thresholds are drawn from the seed in a canonical order, so for a fixed
+   seed the fault set is nested in the rate: the draw per element never
+   changes, only the cutoff does. *)
+
+let independent_edges ~seed g ~rate =
+  check_rate rate;
+  let rng = Rng.create seed in
+  let dead = Hashtbl.create 64 in
+  Graph.iter_edges g (fun u v _ ->
+      if Rng.float rng 1.0 < rate then Hashtbl.replace dead (key u v) ());
+  make g ~dead_edges:dead ~dead_nodes:(Array.make (Graph.n g) false)
+    ~label:(Printf.sprintf "edges(rate=%g,seed=%d)" rate seed)
+
+let node_crashes ~seed g ~rate =
+  check_rate rate;
+  let rng = Rng.create seed in
+  let n = Graph.n g in
+  let dead_nodes = Array.init n (fun _ -> Rng.float rng 1.0 < rate) in
+  make g ~dead_edges:(Hashtbl.create 1) ~dead_nodes
+    ~label:(Printf.sprintf "nodes(rate=%g,seed=%d)" rate seed)
+
+let usage_of_walks g walks =
+  let counts = Hashtbl.create 256 in
+  let count_hop a b =
+    if Graph.has_edge g a b then begin
+      let k = key a b in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+    end
+  in
+  List.iter
+    (fun walk ->
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+            count_hop a b;
+            go rest
+        | _ -> ()
+      in
+      go walk)
+    walks;
+  let items = Hashtbl.fold (fun (u, v) c acc -> (u, v, c) :: acc) counts [] in
+  List.sort
+    (fun (u1, v1, c1) (u2, v2, c2) ->
+      if c1 <> c2 then compare c2 c1 else compare (u1, v1) (u2, v2))
+    items
+
+let targeted_edges g ~hot ~count =
+  let dead = Hashtbl.create 64 in
+  List.iteri
+    (fun i (u, v, _) -> if i < count then Hashtbl.replace dead (key u v) ())
+    hot;
+  make g ~dead_edges:dead ~dead_nodes:(Array.make (Graph.n g) false)
+    ~label:(Printf.sprintf "targeted(count=%d)" (Hashtbl.length dead))
+
+let graph t = t.graph
+
+let label t = t.label
+
+let edge_alive t u v = not (Hashtbl.mem t.dead_edges (key u v))
+
+let node_alive t u = not t.dead_nodes.(u)
+
+let hop_ok t u v = edge_alive t u v && node_alive t u && node_alive t v
+
+let failed_edge_count t = Hashtbl.length t.dead_edges
+
+let failed_node_count t = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.dead_nodes

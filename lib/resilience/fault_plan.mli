@@ -1,0 +1,56 @@
+(** Deterministic, seed-reproducible fault models over an existing graph.
+
+    A plan is a pair of masks — dead edges and dead nodes — applied on
+    top of an immutable {!Cr_graph.Graph.t} without rebuilding it: the
+    routing schemes keep their healthy preprocessed state, and the
+    failure-aware simulator ({!Fsim}) consults the plan hop by hop.
+
+    All constructors are {e nested in the rate} for a fixed seed: the
+    fault set at rate [p1 <= p2] is a subset of the fault set at [p2].
+    This makes degradation sweeps monotone by construction — a higher
+    failure rate can only remove more of the network. *)
+
+type t
+
+val none : Cr_graph.Graph.t -> t
+(** The empty plan: everything alive. *)
+
+val independent_edges : seed:int -> Cr_graph.Graph.t -> rate:float -> t
+(** Independent edge failure: each edge draws a uniform threshold from
+    [seed] (in canonical edge order) and dies iff it falls below [rate].
+    Equal seeds give nested fault sets across rates.
+    @raise Invalid_argument unless [0 <= rate <= 1]. *)
+
+val node_crashes : seed:int -> Cr_graph.Graph.t -> rate:float -> t
+(** Fail-stop node crashes, one uniform threshold per node; a crashed
+    node drops every message addressed through it.
+    @raise Invalid_argument unless [0 <= rate <= 1]. *)
+
+val targeted_edges : Cr_graph.Graph.t -> hot:(int * int * int) list -> count:int -> t
+(** Adversarial removal: kills the first [count] edges of [hot], a
+    [(u, v, traversals)] list as produced by {!usage_of_walks} from a
+    prior healthy run — i.e. the most-traversed edges. *)
+
+val usage_of_walks : Cr_graph.Graph.t -> int list list -> (int * int * int) list
+(** Counts undirected edge traversals across the given walks and returns
+    [(u, v, count)] sorted by descending count (ties broken by edge
+    index, so prefixes are deterministic).  Hops that are not edges of
+    the graph are ignored. *)
+
+val graph : t -> Cr_graph.Graph.t
+
+val label : t -> string
+(** Human-readable description, e.g. ["edges(rate=0.05,seed=1)"]. *)
+
+val edge_alive : t -> int -> int -> bool
+(** Whether the (undirected) edge survived.  Does not check endpoints. *)
+
+val node_alive : t -> int -> bool
+
+val hop_ok : t -> int -> int -> bool
+(** [hop_ok t u v]: the edge survived and both endpoints are alive — the
+    condition for a message at [u] to reach [v] in one hop. *)
+
+val failed_edge_count : t -> int
+
+val failed_node_count : t -> int

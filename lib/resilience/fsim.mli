@@ -1,0 +1,60 @@
+(** Failure-aware routing simulation.
+
+    Replays a scheme's walk hop by hop against a {!Fault_plan}: the
+    scheme keeps the routing state it preprocessed on the healthy graph,
+    and each planned hop is checked against the fault masks.  Unlike
+    {!Compact_routing.Simulator}, nothing here raises — every anomaly
+    (stall on a dead link, hop-budget exhaustion, a forwarding loop, a
+    malformed walk, a scheme that itself raises) maps to a constructor
+    of the shared {!Compact_routing.Simulator.outcome} type.
+
+    {2 Semantics}
+
+    - The message starts at [src] carrying the scheme's planned route.
+    - A planned hop over a dead edge (or into a crashed node) is a
+      {e stall}.  With retries left, the message takes a local detour:
+      it deflects to the alive neighbor of the stall node closest (in
+      healthy distance) to the destination, then asks the scheme for a
+      fresh route from there — counting one retry.  Without retries (or
+      alive neighbors) the outcome is [Dropped_at_fault (u, v)].
+    - Every traversed hop (detours included) spends one unit of TTL;
+      exceeding the budget yields [Ttl_exceeded].
+    - A visited-set loop guard tracks directed-edge traversals and stall
+      states; re-stalling on a fault already detoured around, or
+      crossing the same directed edge more than [max_edge_visits]
+      times, yields [Loop_detected] (deterministic reroutes would
+      repeat forever in a real network).
+    - Walk defects — wrong start, out-of-range nodes, non-edges, a
+      delivery claim ending elsewhere — yield [Invalid_hop]. *)
+
+type policy = {
+  ttl : int;  (** hop budget for one message, detour hops included *)
+  max_retries : int;  (** bounded route recomputations after stalls *)
+  max_edge_visits : int;
+      (** loop guard: max traversals of one directed edge per message *)
+}
+
+val default_policy : ?ttl:int -> ?max_retries:int -> Cr_graph.Graph.t -> policy
+(** [ttl] defaults to [max 256 (16 * n)] — generous enough that no
+    healthy walk of the evaluated schemes is killed; [max_retries]
+    defaults to [0]; [max_edge_visits] is [32]. *)
+
+type result = {
+  outcome : Compact_routing.Simulator.outcome;
+  walk : int list;  (** the realized walk, truncated at the stall when dropped *)
+  cost : float;  (** weight of the realized walk *)
+  hops : int;
+  retries : int;  (** route recomputations consumed *)
+  stretch : float;  (** cost / healthy d(src,dst) when delivered; infinite otherwise *)
+}
+
+val run :
+  policy ->
+  Fault_plan.t ->
+  Cr_graph.Apsp.t ->
+  Compact_routing.Scheme.t ->
+  src:int ->
+  dst:int ->
+  result
+(** Never raises: scheme exceptions are caught and classified as
+    [Invalid_hop]. *)

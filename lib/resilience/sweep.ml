@@ -1,0 +1,136 @@
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Stats = Cr_util.Stats
+module Sim = Compact_routing.Simulator
+module Scheme = Compact_routing.Scheme
+
+type model = Edges | Nodes | Targeted
+
+let model_to_string = function Edges -> "edges" | Nodes -> "nodes" | Targeted -> "targeted"
+
+let model_of_string = function
+  | "edges" -> Ok Edges
+  | "nodes" -> Ok Nodes
+  | "targeted" -> Ok Targeted
+  | s -> Error (Printf.sprintf "unknown fault model %S (expected edges, nodes or targeted)" s)
+
+type cell = {
+  scheme : string;
+  model : string;
+  rate : float;
+  pairs : int;
+  skipped : int;
+  delivered : int;
+  dropped : int;
+  ttl_kills : int;
+  loops : int;
+  no_route : int;
+  invalid : int;
+  retries_total : int;
+  stretch : Stats.summary;
+}
+
+let delivery_ratio c =
+  if c.pairs = 0 then 1.0 else float_of_int c.delivered /. float_of_int c.pairs
+
+let make_plan model ~seed ~rate apsp (scheme : Scheme.t) pairs =
+  let g = Apsp.graph apsp in
+  match model with
+  | Edges -> Fault_plan.independent_edges ~seed g ~rate
+  | Nodes -> Fault_plan.node_crashes ~seed g ~rate
+  | Targeted ->
+      let walks =
+        Array.to_list (Array.map (fun (s, d) -> (scheme.Scheme.route s d).Scheme.walk) pairs)
+      in
+      let hot = Fault_plan.usage_of_walks g walks in
+      let count = int_of_float (Float.round (rate *. float_of_int (Graph.m g))) in
+      Fault_plan.targeted_edges g ~hot ~count
+
+let run_cell policy plan ~rate apsp (scheme : Scheme.t) pairs =
+  let skipped = ref 0 in
+  let delivered = ref 0 and dropped = ref 0 and ttl_kills = ref 0 in
+  let loops = ref 0 and no_route = ref 0 and invalid = ref 0 in
+  let retries_total = ref 0 and evaluated = ref 0 in
+  let stretches = ref [] in
+  Array.iter
+    (fun (s, d) ->
+      if not (Fault_plan.node_alive plan s && Fault_plan.node_alive plan d) then incr skipped
+      else begin
+        incr evaluated;
+        let r = Fsim.run policy plan apsp scheme ~src:s ~dst:d in
+        retries_total := !retries_total + r.Fsim.retries;
+        match r.Fsim.outcome with
+        | Sim.Delivered ->
+            incr delivered;
+            stretches := r.Fsim.stretch :: !stretches
+        | Sim.Dropped_at_fault _ -> incr dropped
+        | Sim.Ttl_exceeded -> incr ttl_kills
+        | Sim.Loop_detected -> incr loops
+        | Sim.No_route -> incr no_route
+        | Sim.Invalid_hop _ -> incr invalid
+      end)
+    pairs;
+  let stretch_arr = Array.of_list !stretches in
+  {
+    scheme = scheme.Scheme.name;
+    model = Fault_plan.label plan;
+    rate;
+    pairs = !evaluated;
+    skipped = !skipped;
+    delivered = !delivered;
+    dropped = !dropped;
+    ttl_kills = !ttl_kills;
+    loops = !loops;
+    no_route = !no_route;
+    invalid = !invalid;
+    retries_total = !retries_total;
+    stretch =
+      (if Array.length stretch_arr = 0 then Stats.empty_summary else Stats.summarize stretch_arr);
+  }
+
+let sweep ?policy ~model ~seed ~rates apsp schemes pairs =
+  let policy =
+    match policy with Some p -> p | None -> Fsim.default_policy (Apsp.graph apsp)
+  in
+  List.concat_map
+    (fun scheme ->
+      List.map
+        (fun rate ->
+          let plan = make_plan model ~seed ~rate apsp scheme pairs in
+          run_cell policy plan ~rate apsp scheme pairs)
+        rates)
+    schemes
+
+(* Minimal JSON escaping: scheme and model labels are ASCII identifiers,
+   but stay safe about quotes/backslashes/control bytes anyway. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.6g" x
+
+let cell_to_json c =
+  Printf.sprintf
+    "{\"scheme\":\"%s\",\"model\":\"%s\",\"rate\":%s,\"pairs\":%d,\"skipped\":%d,\
+     \"delivered\":%d,\"dropped\":%d,\"ttl_kills\":%d,\"loops\":%d,\"no_route\":%d,\
+     \"invalid\":%d,\"retries\":%d,\"delivery_ratio\":%s,\"stretch_mean\":%s,\
+     \"stretch_p99\":%s,\"stretch_max\":%s}"
+    (json_escape c.scheme) (json_escape c.model) (json_float c.rate) c.pairs c.skipped
+    c.delivered c.dropped c.ttl_kills c.loops c.no_route c.invalid c.retries_total
+    (json_float (delivery_ratio c))
+    (json_float c.stretch.Stats.mean)
+    (json_float c.stretch.Stats.p99)
+    (json_float c.stretch.Stats.max)
+
+let default_rates = [ 0.0; 0.01; 0.05; 0.1; 0.2 ]

@@ -1,0 +1,76 @@
+(** Degradation sweeps: run every scheme against a ladder of failure
+    rates and report delivery ratio, stretch-of-delivered, retries and
+    kill reasons per cell.  Shared by the [crt resilience] subcommand
+    and the bench harness. *)
+
+type model =
+  | Edges  (** independent edge failure with rate p *)
+  | Nodes  (** fail-stop node crashes, fraction p of nodes *)
+  | Targeted
+      (** adversarial removal of the p·m most-traversed edges, measured
+          on the scheme's own healthy run over the same pairs *)
+
+val model_to_string : model -> string
+
+val model_of_string : string -> (model, string) Stdlib.result
+
+type cell = {
+  scheme : string;
+  model : string;  (** fault-plan label *)
+  rate : float;
+  pairs : int;  (** evaluated pairs (both endpoints alive) *)
+  skipped : int;  (** pairs skipped because an endpoint crashed *)
+  delivered : int;
+  dropped : int;  (** [Dropped_at_fault] outcomes *)
+  ttl_kills : int;
+  loops : int;
+  no_route : int;
+  invalid : int;
+  retries_total : int;
+  stretch : Cr_util.Stats.summary;  (** over delivered pairs *)
+}
+
+val delivery_ratio : cell -> float
+(** [delivered / pairs]; 1.0 for an empty cell. *)
+
+val make_plan :
+  model ->
+  seed:int ->
+  rate:float ->
+  Cr_graph.Apsp.t ->
+  Compact_routing.Scheme.t ->
+  (int * int) array ->
+  Fault_plan.t
+(** Builds the fault plan for one cell.  [Targeted] first replays the
+    scheme's healthy routes over [pairs] to rank edges by traversals. *)
+
+val run_cell :
+  Fsim.policy ->
+  Fault_plan.t ->
+  rate:float ->
+  Cr_graph.Apsp.t ->
+  Compact_routing.Scheme.t ->
+  (int * int) array ->
+  cell
+(** Replays every pair through {!Fsim.run} and tallies outcomes. *)
+
+val sweep :
+  ?policy:Fsim.policy ->
+  model:model ->
+  seed:int ->
+  rates:float list ->
+  Cr_graph.Apsp.t ->
+  Compact_routing.Scheme.t list ->
+  (int * int) array ->
+  cell list
+(** One cell per (scheme, rate), schemes outermost.  For a fixed seed the
+    fault sets are nested across rates (see {!Fault_plan}), so with the
+    default no-retry policy the delivery ratio is monotone non-increasing
+    in the rate. *)
+
+val cell_to_json : cell -> string
+(** One machine-readable JSON object (single line, no trailing newline)
+    per cell. *)
+
+val default_rates : float list
+(** [0; 0.01; 0.05; 0.1; 0.2] *)

@@ -155,6 +155,47 @@ let test_simulator_sample_pairs () =
       checkb "connected" true (Apsp.distance apsp s d < infinity))
     pairs
 
+let test_simulator_sample_pairs_shortfall () =
+  (* 64 nodes, one single edge: connected ordered pairs are so rare that
+     the rejection-sampling guard expires.  The shortfall must surface as
+     Sample_shortfall, never as a quietly truncated sample. *)
+  let g = Graph.create ~n:64 [ (0, 1, 1.0) ] in
+  let apsp = Apsp.compute g in
+  (match Simulator.sample_pairs (Rng.create 1) apsp ~count:100 with
+  | exception Simulator.Sample_shortfall { requested; found } ->
+      checki "requested" 100 requested;
+      checkb "found fewer" true (found < 100)
+  | pairs -> Alcotest.failf "expected Sample_shortfall, got %d pairs" (Array.length pairs));
+  (* opting in to a short sample returns only valid pairs *)
+  let short = Simulator.sample_pairs ~allow_short:true (Rng.create 1) apsp ~count:100 in
+  checkb "short" true (Array.length short < 100);
+  Array.iter
+    (fun (s, d) ->
+      checkb "valid pair" true (s <> d && Apsp.distance apsp s d < infinity))
+    short
+
+let test_simulator_check_walk_outcomes () =
+  let g = line_graph () in
+  let ck = Simulator.check_walk g in
+  checkb "delivered" true
+    ((ck ~src:0 ~dst:3 ~delivered:true [ 0; 1; 2; 3 ]).Simulator.outcome = Simulator.Delivered);
+  checkb "no-route" true
+    ((ck ~src:0 ~dst:3 ~delivered:false [ 0; 1; 0 ]).Simulator.outcome = Simulator.No_route);
+  let is_invalid walk ~delivered =
+    match (ck ~src:0 ~dst:3 ~delivered walk).Simulator.outcome with
+    | Simulator.Invalid_hop _ -> true
+    | _ -> false
+  in
+  checkb "empty" true (is_invalid [] ~delivered:false);
+  checkb "wrong start" true (is_invalid [ 1; 2; 3 ] ~delivered:true);
+  checkb "non-edge" true (is_invalid [ 0; 2; 3 ] ~delivered:true);
+  checkb "out of range" true (is_invalid [ 0; 1; 9 ] ~delivered:false);
+  checkb "liar" true (is_invalid [ 0; 1 ] ~delivered:true);
+  (* valid-prefix pricing: cost covers hops before the defect *)
+  let c = ck ~src:0 ~dst:3 ~delivered:true [ 0; 1; 2; 0 ] in
+  checkf "prefix cost" 2.0 c.Simulator.checked_cost;
+  checki "prefix hops" 2 c.Simulator.checked_hops
+
 (* ------------------------------------------------------------------ *)
 (* Decomposition *)
 
@@ -646,6 +687,8 @@ let () =
           Alcotest.test_case "measure" `Quick test_simulator_measure;
           Alcotest.test_case "evaluate" `Quick test_simulator_evaluate;
           Alcotest.test_case "sample pairs" `Quick test_simulator_sample_pairs;
+          Alcotest.test_case "sample pairs shortfall" `Quick test_simulator_sample_pairs_shortfall;
+          Alcotest.test_case "check walk outcomes" `Quick test_simulator_check_walk_outcomes;
         ] );
       ( "decomposition",
         [

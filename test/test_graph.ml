@@ -478,9 +478,49 @@ let test_gio_file_roundtrip () =
       checki "m" (Graph.m g) (Graph.m g'))
 
 let test_gio_bad_input () =
-  let raises s = try ignore (Gio.of_string s); false with Invalid_argument _ -> true in
+  let raises s = try ignore (Gio.of_string s); false with Gio.Parse_error _ -> true in
   checkb "no header" true (raises "edge 0 1 1.0\n");
   checkb "junk line" true (raises "graph 2 1\nfrobnicate\n")
+
+let test_gio_parse_errors_carry_line_numbers () =
+  let line_of s = try ignore (Gio.of_string s); -1 with Gio.Parse_error (l, _) -> l in
+  (* malformed integer in the header *)
+  checki "bad node count" 1 (line_of "graph two 1\nedge 0 1 1.0\n");
+  (* malformed integer in an edge record *)
+  checki "bad endpoint" 2 (line_of "graph 3 1\nedge 0 x 1.0\n");
+  (* malformed float weight *)
+  checki "bad weight" 2 (line_of "graph 3 1\nedge 0 1 heavy\n");
+  (* out-of-range node index on a name line: used to crash with a bare
+     Index out of bounds *)
+  checki "name index out of range" 2 (line_of "graph 2 1\nname 7 42\nedge 0 1 1.0\n");
+  checki "negative name index" 2 (line_of "graph 2 1\nname -1 42\nedge 0 1 1.0\n");
+  (* out-of-range edge endpoint *)
+  checki "edge endpoint out of range" 2 (line_of "graph 2 1\nedge 0 5 1.0\n");
+  (* non-positive and non-finite weights *)
+  checki "zero weight" 2 (line_of "graph 2 1\nedge 0 1 0.0\n");
+  checki "negative weight" 2 (line_of "graph 2 1\nedge 0 1 -3.0\n");
+  checki "nan weight" 2 (line_of "graph 2 1\nedge 0 1 nan\n");
+  (* self-loop *)
+  checki "self-loop" 2 (line_of "graph 2 1\nedge 1 1 1.0\n");
+  (* wrong field counts *)
+  checki "short edge record" 2 (line_of "graph 2 1\nedge 0 1\n");
+  checki "long name record" 2 (line_of "graph 2 1\nname 0 1 2\nedge 0 1 1.0\n");
+  (* duplicate header; line 0 marks global errors *)
+  checki "duplicate header" 2 (line_of "graph 2 1\ngraph 2 1\nedge 0 1 1.0\n");
+  checki "missing header is global" 0 (line_of "edge 0 1 1.0\n");
+  (* blank lines and comments do not shift the count *)
+  checki "line numbers skip comments" 4 (line_of "# hi\n\ngraph 3 1\nedge 0 one 1.0\n")
+
+let test_gio_parse_error_message_mentions_reason () =
+  (match Gio.of_string "graph 2 1\nedge 0 1 heavy\n" with
+  | exception Gio.Parse_error (2, msg) ->
+      checkb "mentions token" true
+        (let rec contains i =
+           i + 5 <= String.length msg && (String.sub msg i 5 = "heavy" || contains (i + 1))
+         in
+         contains 0)
+  | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Parse_error")
 
 let test_gio_comments_and_blanks () =
   let g = Gio.of_string "# comment\n\ngraph 2 1\nedge 0 1 2.5\n" in
@@ -638,6 +678,9 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_gio_roundtrip;
           Alcotest.test_case "file roundtrip" `Quick test_gio_file_roundtrip;
           Alcotest.test_case "bad input" `Quick test_gio_bad_input;
+          Alcotest.test_case "parse errors carry line numbers" `Quick
+            test_gio_parse_errors_carry_line_numbers;
+          Alcotest.test_case "parse error message" `Quick test_gio_parse_error_message_mentions_reason;
           Alcotest.test_case "comments" `Quick test_gio_comments_and_blanks;
         ] );
       ("properties", qsuite);

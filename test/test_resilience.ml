@@ -1,0 +1,401 @@
+(* Tests for the resilience subsystem: fault plans (determinism, nesting),
+   the failure-aware simulator's structured outcomes (no code path may
+   raise), the bounded retry/reroute policy, and degradation sweeps
+   (100% delivery at rate 0, monotone non-increasing in the rate). *)
+
+module Rng = Cr_util.Rng
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Generators = Cr_graph.Generators
+module Fault_plan = Cr_resilience.Fault_plan
+module Fsim = Cr_resilience.Fsim
+module Sweep = Cr_resilience.Sweep
+open Compact_routing
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let prepared_graph ?(n = 100) ?(avg = 4.0) seed =
+  let rng = Rng.create seed in
+  let g = Graph.relabel rng (Generators.erdos_renyi rng ~n ~avg_degree:avg) in
+  Apsp.compute (Graph.normalize g)
+
+let line_graph () = Graph.create ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ]
+
+let dummy_scheme g walk_fn =
+  {
+    Scheme.name = "dummy";
+    graph = g;
+    storage = Storage.create ~n:(Graph.n g);
+    header_bits = Scheme.default_header_bits ~n:(Graph.n g);
+    route = (fun s d -> let w, ok = walk_fn s d in { Scheme.walk = w; delivered = ok; phases_used = 1 });
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Fault_plan *)
+
+let test_plan_none () =
+  let g = line_graph () in
+  let p = Fault_plan.none g in
+  checkb "edges alive" true (Fault_plan.hop_ok p 0 1);
+  checki "no dead edges" 0 (Fault_plan.failed_edge_count p);
+  checki "no dead nodes" 0 (Fault_plan.failed_node_count p)
+
+let test_plan_rate_extremes_and_validation () =
+  let apsp = prepared_graph 3 in
+  let g = Apsp.graph apsp in
+  let p0 = Fault_plan.independent_edges ~seed:1 g ~rate:0.0 in
+  let p1 = Fault_plan.independent_edges ~seed:1 g ~rate:1.0 in
+  checki "rate 0 kills nothing" 0 (Fault_plan.failed_edge_count p0);
+  checki "rate 1 kills everything" (Graph.m g) (Fault_plan.failed_edge_count p1);
+  checkb "rate out of range rejected" true
+    (try ignore (Fault_plan.independent_edges ~seed:1 g ~rate:1.5); false
+     with Invalid_argument _ -> true);
+  checkb "nan rejected" true
+    (try ignore (Fault_plan.node_crashes ~seed:1 g ~rate:Float.nan); false
+     with Invalid_argument _ -> true)
+
+let test_plan_deterministic_and_nested () =
+  let apsp = prepared_graph 5 in
+  let g = Apsp.graph apsp in
+  let dead_set rate =
+    let p = Fault_plan.independent_edges ~seed:7 g ~rate in
+    List.filter (fun (u, v, _) -> not (Fault_plan.edge_alive p u v)) (Graph.edges g)
+  in
+  (* determinism: same seed, same rate, same set *)
+  Alcotest.(check int) "deterministic" (List.length (dead_set 0.1)) (List.length (dead_set 0.1));
+  (* nesting: the fault set at a lower rate is a subset of a higher one *)
+  let d05 = dead_set 0.05 and d20 = dead_set 0.2 in
+  checkb "nonempty at 0.2" true (List.length d20 > 0);
+  List.iter (fun e -> checkb "nested" true (List.mem e d20)) d05
+
+let test_plan_node_crashes () =
+  let apsp = prepared_graph 9 in
+  let g = Apsp.graph apsp in
+  let p = Fault_plan.node_crashes ~seed:3 g ~rate:0.2 in
+  let dead = Fault_plan.failed_node_count p in
+  checkb "some crashed" true (dead > 0 && dead < Graph.n g);
+  (* a hop into a crashed node is not ok *)
+  Graph.iter_edges g (fun u v _ ->
+      if not (Fault_plan.node_alive p v) then checkb "hop into crash blocked" false (Fault_plan.hop_ok p u v))
+
+let test_usage_of_walks () =
+  let g = line_graph () in
+  let usage = Fault_plan.usage_of_walks g [ [ 0; 1; 2 ]; [ 1; 2; 3 ]; [ 2; 1 ] ] in
+  (* edge (1,2) traversed 3 times (either direction), tops the list *)
+  (match usage with
+  | (1, 2, 3) :: _ -> ()
+  | (u, v, c) :: _ -> Alcotest.failf "expected (1,2,3) first, got (%d,%d,%d)" u v c
+  | [] -> Alcotest.fail "empty usage");
+  (* non-edges in walks are ignored *)
+  let usage2 = Fault_plan.usage_of_walks g [ [ 0; 3; 2 ] ] in
+  checki "teleport hop ignored" 1 (List.length usage2)
+
+let test_targeted_plan () =
+  let g = line_graph () in
+  let hot = Fault_plan.usage_of_walks g [ [ 0; 1; 2; 3 ]; [ 1; 2 ] ] in
+  let p = Fault_plan.targeted_edges g ~hot ~count:1 in
+  checki "one edge dead" 1 (Fault_plan.failed_edge_count p);
+  checkb "hottest edge (1,2) dead" false (Fault_plan.edge_alive p 1 2)
+
+(* ------------------------------------------------------------------ *)
+(* Fsim structured outcomes *)
+
+let test_fsim_delivered_healthy () =
+  let g = line_graph () in
+  let apsp = Apsp.compute g in
+  let sch = Baseline_full.build apsp in
+  let r = Fsim.run (Fsim.default_policy g) (Fault_plan.none g) apsp sch ~src:0 ~dst:3 in
+  checkb "delivered" true (Simulator.is_delivered r.Fsim.outcome);
+  Alcotest.(check (list int)) "walk" [ 0; 1; 2; 3 ] r.Fsim.walk;
+  checki "hops" 3 r.Fsim.hops;
+  checki "no retries" 0 r.Fsim.retries;
+  Alcotest.(check (float 1e-9)) "stretch 1" 1.0 r.Fsim.stretch
+
+let test_fsim_loop_detected_cyclic_walk () =
+  let g = line_graph () in
+  let apsp = Apsp.compute g in
+  (* deliberately cyclic: bounce 0-1 far beyond any legitimate revisit
+     count, then claim delivery *)
+  let bounce = List.concat (List.init 40 (fun _ -> [ 0; 1 ])) @ [ 2; 3 ] in
+  let sch = dummy_scheme g (fun _ _ -> (bounce, true)) in
+  let r = Fsim.run (Fsim.default_policy g) (Fault_plan.none g) apsp sch ~src:0 ~dst:3 in
+  checkb "loop detected" true (r.Fsim.outcome = Simulator.Loop_detected)
+
+let test_fsim_ttl_exceeded () =
+  let g = line_graph () in
+  let apsp = Apsp.compute g in
+  let sch = Baseline_full.build apsp in
+  let policy = { (Fsim.default_policy g) with Fsim.ttl = 2 } in
+  let r = Fsim.run policy (Fault_plan.none g) apsp sch ~src:0 ~dst:3 in
+  checkb "ttl exceeded" true (r.Fsim.outcome = Simulator.Ttl_exceeded);
+  checki "stopped at budget" 2 r.Fsim.hops
+
+let test_fsim_dropped_at_fault_tree_scheme () =
+  let g = line_graph () in
+  let apsp = Apsp.compute g in
+  let sch = Baseline_tree.build apsp in
+  (* sanity: tree scheme delivers 0 -> 3 when healthy *)
+  let healthy = Fsim.run (Fsim.default_policy g) (Fault_plan.none g) apsp sch ~src:0 ~dst:3 in
+  checkb "healthy delivery" true (Simulator.is_delivered healthy.Fsim.outcome);
+  (* single targeted edge failure on the walk *)
+  let plan = Fault_plan.targeted_edges g ~hot:[ (1, 2, 99) ] ~count:1 in
+  let r = Fsim.run (Fsim.default_policy g) plan apsp sch ~src:0 ~dst:3 in
+  checkb "dropped at the failed edge" true (r.Fsim.outcome = Simulator.Dropped_at_fault (1, 2));
+  (* the realized walk is truncated at the stall *)
+  Alcotest.(check (list int)) "truncated walk" [ 0; 1 ] r.Fsim.walk
+
+let test_fsim_dropped_at_fault_agm06 () =
+  let apsp = prepared_graph ~n:80 21 in
+  let g = Apsp.graph apsp in
+  let sch = Agm06.scheme (Agm06.build ~params:(Params.scaled ~k:3 ~seed:21 ()) apsp) in
+  let rng = Rng.create 4 in
+  let pairs = Simulator.sample_pairs rng apsp ~count:20 in
+  Array.iter
+    (fun (s, d) ->
+      let healthy = (sch.Scheme.route s d).Scheme.walk in
+      match healthy with
+      | a :: b :: _ when a <> b ->
+          (* kill the first hop of the healthy walk: replay must stall
+             exactly there, without raising *)
+          let plan = Fault_plan.targeted_edges g ~hot:[ (a, b, 1) ] ~count:1 in
+          let r = Fsim.run (Fsim.default_policy g) plan apsp sch ~src:s ~dst:d in
+          checkb "dropped at first hop" true (r.Fsim.outcome = Simulator.Dropped_at_fault (a, b))
+      | _ -> ())
+    pairs
+
+let test_fsim_invalid_hop_teleport () =
+  let g = line_graph () in
+  let apsp = Apsp.compute g in
+  let sch = dummy_scheme g (fun s d -> ([ s; d ], true)) in
+  let r = Fsim.run (Fsim.default_policy g) (Fault_plan.none g) apsp sch ~src:0 ~dst:3 in
+  (match r.Fsim.outcome with
+  | Simulator.Invalid_hop _ -> ()
+  | o -> Alcotest.failf "expected Invalid_hop, got %s" (Simulator.outcome_to_string o))
+
+let test_fsim_scheme_exception_is_classified () =
+  let g = line_graph () in
+  let apsp = Apsp.compute g in
+  let sch = dummy_scheme g (fun _ _ -> failwith "scheme blew up") in
+  let r = Fsim.run (Fsim.default_policy g) (Fault_plan.none g) apsp sch ~src:0 ~dst:3 in
+  (match r.Fsim.outcome with
+  | Simulator.Invalid_hop msg -> checkb "mentions failure" true (String.length msg > 0)
+  | o -> Alcotest.failf "expected Invalid_hop, got %s" (Simulator.outcome_to_string o))
+
+let test_fsim_no_route_honest_failure () =
+  let g = line_graph () in
+  let apsp = Apsp.compute g in
+  let sch = dummy_scheme g (fun s _ -> ([ s; 1; s ], false)) in
+  let r = Fsim.run (Fsim.default_policy g) (Fault_plan.none g) apsp sch ~src:0 ~dst:3 in
+  checkb "no-route" true (r.Fsim.outcome = Simulator.No_route)
+
+let test_fsim_retry_reroutes_around_fault () =
+  (* square: 0-1-2 is the cheap path, 0-3-2 the detour.  Kill (0,1): with
+     no retries the message drops; with one retry it deflects to 3 and
+     delivers. *)
+  let g = Graph.create ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (0, 3, 2.0); (3, 2, 2.0) ] in
+  let apsp = Apsp.compute g in
+  let sch = Baseline_full.build apsp in
+  let plan = Fault_plan.targeted_edges g ~hot:[ (0, 1, 9) ] ~count:1 in
+  let r0 = Fsim.run (Fsim.default_policy g) plan apsp sch ~src:0 ~dst:2 in
+  checkb "dropped without retries" true (r0.Fsim.outcome = Simulator.Dropped_at_fault (0, 1));
+  let r1 = Fsim.run (Fsim.default_policy ~max_retries:1 g) plan apsp sch ~src:0 ~dst:2 in
+  checkb "delivered with one retry" true (Simulator.is_delivered r1.Fsim.outcome);
+  checki "one retry counted" 1 r1.Fsim.retries;
+  Alcotest.(check (list int)) "detour walk" [ 0; 3; 2 ] r1.Fsim.walk
+
+let test_fsim_retry_loop_is_detected () =
+  (* line graph with the middle edge dead and retries allowed: the only
+     deflection bounces between 0 and 1; the stall state repeats and the
+     loop guard fires instead of spinning until TTL *)
+  let g = line_graph () in
+  let apsp = Apsp.compute g in
+  let sch = Baseline_full.build apsp in
+  let plan = Fault_plan.targeted_edges g ~hot:[ (1, 2, 9) ] ~count:1 in
+  let r = Fsim.run (Fsim.default_policy ~max_retries:5 g) plan apsp sch ~src:0 ~dst:3 in
+  checkb "classified as loop or drop" true
+    (match r.Fsim.outcome with
+    | Simulator.Loop_detected | Simulator.Dropped_at_fault _ -> true
+    | _ -> false);
+  checkb "did not deliver" false (Simulator.is_delivered r.Fsim.outcome)
+
+let test_fsim_crashed_destination_never_raises () =
+  let apsp = prepared_graph ~n:60 23 in
+  let g = Apsp.graph apsp in
+  let sch = Baseline_tree.build apsp in
+  (* crash every node's worth of rate until dst 5 is dead *)
+  let dead_nodes = Array.make (Graph.n g) false in
+  ignore dead_nodes;
+  let plan = Fault_plan.node_crashes ~seed:11 g ~rate:0.5 in
+  let policy = Fsim.default_policy ~max_retries:2 g in
+  for s = 0 to Graph.n g - 1 do
+    for d = 0 to min 10 (Graph.n g - 1) do
+      let r = Fsim.run policy plan apsp sch ~src:s ~dst:d in
+      (* outcome is structured, never an exception; delivery implies both
+         endpoints alive *)
+      if Simulator.is_delivered r.Fsim.outcome then begin
+        checkb "src alive" true (Fault_plan.node_alive plan s);
+        checkb "dst alive" true (Fault_plan.node_alive plan d)
+      end
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Sweep *)
+
+let sweep_schemes apsp =
+  [
+    Agm06.scheme (Agm06.build ~params:(Params.scaled ~k:3 ~seed:31 ()) apsp);
+    Baseline_tz.build ~k:3 apsp;
+    Baseline_tree.build apsp;
+  ]
+
+let test_sweep_full_delivery_at_zero_and_monotone () =
+  let apsp = prepared_graph ~n:64 31 in
+  let rng = Rng.create 32 in
+  let pairs = Simulator.sample_pairs rng apsp ~count:150 in
+  let rates = [ 0.0; 0.05; 0.1; 0.2 ] in
+  let cells =
+    Sweep.sweep ~model:Sweep.Edges ~seed:33 ~rates apsp (sweep_schemes apsp) pairs
+  in
+  checki "cells" (3 * List.length rates) (List.length cells);
+  (* group by scheme, check p=0 perfection and monotonicity *)
+  List.iter
+    (fun (sch : Scheme.t) ->
+      let mine = List.filter (fun (c : Sweep.cell) -> c.Sweep.scheme = sch.Scheme.name) cells in
+      checki "rates per scheme" (List.length rates) (List.length mine);
+      (match mine with
+      | first :: _ ->
+          checki (sch.Scheme.name ^ " delivers all at rate 0") (Array.length pairs)
+            first.Sweep.delivered
+      | [] -> Alcotest.fail "missing scheme");
+      let last = ref 1.0 in
+      List.iter
+        (fun c ->
+          let ratio = Sweep.delivery_ratio c in
+          checkb
+            (Printf.sprintf "%s monotone at rate %g (%.3f <= %.3f)" sch.Scheme.name c.Sweep.rate
+               ratio !last)
+            true (ratio <= !last +. 1e-9);
+          last := ratio)
+        mine)
+    (sweep_schemes apsp)
+
+let test_sweep_outcome_accounting () =
+  let apsp = prepared_graph ~n:64 37 in
+  let rng = Rng.create 38 in
+  let pairs = Simulator.sample_pairs rng apsp ~count:100 in
+  let cells =
+    Sweep.sweep ~model:Sweep.Edges ~seed:39 ~rates:[ 0.15 ] apsp (sweep_schemes apsp) pairs
+  in
+  List.iter
+    (fun (c : Sweep.cell) ->
+      checki "outcomes partition the pairs" c.Sweep.pairs
+        (c.Sweep.delivered + c.Sweep.dropped + c.Sweep.ttl_kills + c.Sweep.loops
+        + c.Sweep.no_route + c.Sweep.invalid);
+      checki "nothing skipped under edge faults" 0 c.Sweep.skipped)
+    cells
+
+let test_sweep_json_shape () =
+  let apsp = prepared_graph ~n:64 41 in
+  let rng = Rng.create 42 in
+  let pairs = Simulator.sample_pairs rng apsp ~count:50 in
+  let cells =
+    Sweep.sweep ~model:Sweep.Edges ~seed:43 ~rates:[ 0.0; 0.1 ] apsp
+      [ Baseline_tree.build apsp ] pairs
+  in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun c ->
+      let j = Sweep.cell_to_json c in
+      checkb "object" true (j.[0] = '{' && j.[String.length j - 1] = '}');
+      List.iter
+        (fun field -> checkb (field ^ " present") true (contains j ("\"" ^ field ^ "\":")))
+        [ "scheme"; "model"; "rate"; "pairs"; "delivered"; "delivery_ratio"; "stretch_mean"; "retries" ])
+    cells
+
+let test_sweep_nodes_model_skips_dead_endpoints () =
+  let apsp = prepared_graph ~n:64 47 in
+  let rng = Rng.create 48 in
+  let pairs = Simulator.sample_pairs rng apsp ~count:100 in
+  let cells =
+    Sweep.sweep ~model:Sweep.Nodes ~seed:49 ~rates:[ 0.3 ] apsp [ Baseline_tree.build apsp ] pairs
+  in
+  (match cells with
+  | [ c ] ->
+      checkb "some pairs skipped" true (c.Sweep.skipped > 0);
+      checki "evaluated + skipped = sampled" (Array.length pairs) (c.Sweep.pairs + c.Sweep.skipped)
+  | _ -> Alcotest.fail "one cell expected")
+
+let test_model_of_string () =
+  checkb "edges" true (Sweep.model_of_string "edges" = Ok Sweep.Edges);
+  checkb "nodes" true (Sweep.model_of_string "nodes" = Ok Sweep.Nodes);
+  checkb "targeted" true (Sweep.model_of_string "targeted" = Ok Sweep.Targeted);
+  checkb "unknown rejected" true (Result.is_error (Sweep.model_of_string "cosmic-rays"))
+
+(* ------------------------------------------------------------------ *)
+(* qcheck: Fsim never raises, whatever the faults *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"fsim total on random graphs and fault rates" ~count:10
+      (pair (int_range 0 200) (int_range 0 100))
+      (fun (seed, pct) ->
+        let apsp = prepared_graph ~n:50 seed in
+        let g = Apsp.graph apsp in
+        let rate = float_of_int pct /. 100.0 in
+        let plan = Fault_plan.independent_edges ~seed g ~rate in
+        let sch = Baseline_tree.build apsp in
+        let policy = Fsim.default_policy ~max_retries:2 g in
+        let rng = Rng.create (seed + 1) in
+        let pairs = Simulator.sample_pairs ~allow_short:true rng apsp ~count:30 in
+        Array.for_all
+          (fun (s, d) ->
+            let r = Fsim.run policy plan apsp sch ~src:s ~dst:d in
+            (* totality + sane accounting *)
+            r.Fsim.hops <= policy.Fsim.ttl && r.Fsim.retries <= policy.Fsim.max_retries)
+          pairs);
+  ]
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest qcheck_tests in
+  Alcotest.run "resilience"
+    [
+      ( "fault_plan",
+        [
+          Alcotest.test_case "none" `Quick test_plan_none;
+          Alcotest.test_case "rate extremes and validation" `Quick test_plan_rate_extremes_and_validation;
+          Alcotest.test_case "deterministic and nested" `Quick test_plan_deterministic_and_nested;
+          Alcotest.test_case "node crashes" `Quick test_plan_node_crashes;
+          Alcotest.test_case "usage of walks" `Quick test_usage_of_walks;
+          Alcotest.test_case "targeted plan" `Quick test_targeted_plan;
+        ] );
+      ( "fsim",
+        [
+          Alcotest.test_case "delivered healthy" `Quick test_fsim_delivered_healthy;
+          Alcotest.test_case "loop detected on cyclic walk" `Quick test_fsim_loop_detected_cyclic_walk;
+          Alcotest.test_case "ttl exceeded" `Quick test_fsim_ttl_exceeded;
+          Alcotest.test_case "dropped at fault (tree)" `Quick test_fsim_dropped_at_fault_tree_scheme;
+          Alcotest.test_case "dropped at fault (agm06)" `Quick test_fsim_dropped_at_fault_agm06;
+          Alcotest.test_case "invalid hop teleport" `Quick test_fsim_invalid_hop_teleport;
+          Alcotest.test_case "scheme exception classified" `Quick test_fsim_scheme_exception_is_classified;
+          Alcotest.test_case "honest no-route" `Quick test_fsim_no_route_honest_failure;
+          Alcotest.test_case "retry reroutes around fault" `Quick test_fsim_retry_reroutes_around_fault;
+          Alcotest.test_case "retry loop detected" `Quick test_fsim_retry_loop_is_detected;
+          Alcotest.test_case "crashed endpoints never raise" `Quick test_fsim_crashed_destination_never_raises;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "full delivery at 0, monotone" `Quick test_sweep_full_delivery_at_zero_and_monotone;
+          Alcotest.test_case "outcome accounting" `Quick test_sweep_outcome_accounting;
+          Alcotest.test_case "json shape" `Quick test_sweep_json_shape;
+          Alcotest.test_case "nodes model skips dead endpoints" `Quick test_sweep_nodes_model_skips_dead_endpoints;
+          Alcotest.test_case "model parsing" `Quick test_model_of_string;
+        ] );
+      ("properties", qsuite);
+    ]
