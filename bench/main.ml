@@ -858,12 +858,84 @@ let r1 () =
      bounded retries buy back part of the loss at low rates at a small stretch cost.\n"
 
 (* ------------------------------------------------------------------ *)
+(* P1: serving throughput — the batch engine across pool widths        *)
+
+let p1 () =
+  header "P1: batch query engine — routes/sec & latency vs domains and cache";
+  let module Serve = Cr_engine.Serve in
+  let module Workload = Cr_engine.Workload in
+  let n = scale 1024 in
+  let g = Experiment.make_graph ~seed:151 (Experiment.Erdos_renyi { n; avg_degree = 4.0 }) in
+  let apsp = Apsp.compute_parallel g in
+  let queries = scale 20000 in
+  let schemes =
+    [ Agm06.scheme (agm ~k:3 apsp); Baseline_tz.build ~k:3 apsp ]
+  in
+  let domain_widths = if fast then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let caches = [ 0; 4096 ] in
+  let table =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "erdos-renyi n=%d, %d zipf:1.1 queries per cell; speedup vs domains=1 (same cache); %d cores available"
+           n queries (Domain.recommended_domain_count ()))
+      [
+        ("scheme", T.Left); ("domains", T.Right); ("cache", T.Right); ("routes/s", T.Right);
+        ("speedup", T.Right); ("efficiency", T.Right); ("p50 us", T.Right); ("p95 us", T.Right);
+        ("p99 us", T.Right); ("hit rate", T.Right);
+      ]
+  in
+  let reports = ref [] in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun cache ->
+          let base = ref 0.0 in
+          List.iter
+            (fun domains ->
+              let r =
+                Serve.run ~cache ~dist:(Workload.Zipf 1.1) ~domains ~seed:152 ~queries
+                  ~workload:(Printf.sprintf "erdos-renyi(n=%d)" n)
+                  apsp scheme
+              in
+              reports := r :: !reports;
+              if domains = 1 then base := r.Serve.routes_per_sec;
+              let speedup =
+                if !base > 0.0 then r.Serve.routes_per_sec /. !base else 1.0
+              in
+              T.add_row table
+                [
+                  r.Serve.scheme; string_of_int domains; string_of_int cache;
+                  Printf.sprintf "%.0f" r.Serve.routes_per_sec;
+                  Printf.sprintf "%.2fx" speedup;
+                  Printf.sprintf "%.2f" (speedup /. float_of_int domains);
+                  Printf.sprintf "%.1f" (1e6 *. r.Serve.latency.Stats.p50);
+                  Printf.sprintf "%.1f" (1e6 *. r.Serve.latency.Stats.p95);
+                  Printf.sprintf "%.1f" (1e6 *. r.Serve.latency.Stats.p99);
+                  (if cache = 0 then "-" else Printf.sprintf "%.3f" (Serve.hit_rate r));
+                ])
+            domain_widths)
+        caches;
+      T.add_sep table)
+    schemes;
+  T.print table;
+  (match Sys.getenv_opt "CRT_P1_JSON" with
+  | Some path ->
+      Cr_util.Jsonl.write_lines (List.rev_map Serve.report_to_json !reports) path;
+      Printf.printf "json written to %s\n" path
+  | None -> ());
+  Printf.printf
+    "expected: the result stream is identical in every cell (determinism contract);\n\
+     routes/s scales with domains up to the physical core count, and the zipf\n\
+     workload gives the 4096-entry per-lane cache a high hit rate.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("T1", t1); ("T1b", t1b); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5); ("T6", t6);
     ("T7", t7); ("T8", t8); ("T9", t9); ("F1", f1); ("F2", f2); ("F3", f3); ("A1", a1);
-    ("A2", a2); ("F4", f4); ("R1", r1);
+    ("A2", a2); ("F4", f4); ("R1", r1); ("P1", p1);
   ]
 
 let () =

@@ -11,6 +11,9 @@
      resilience  fault-injection degradation sweep: delivery ratio,
                  stretch-of-delivered, retries and kill reasons per
                  (scheme, failure rate) cell, plus JSON lines
+     serve       closed-loop load generator over the batch query
+                 engine: routes/sec, latency percentiles, cache
+                 hit rates per scheme, plus JSON lines
 *)
 
 module Rng = Cr_util.Rng
@@ -219,7 +222,10 @@ let eval_cmd =
   let csv_arg =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the rows as CSV to FILE.")
   in
-  let run seed k workload graph_file aspect schemes pairs_n csv =
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Also write one JSON line per row to FILE (same field set as the CSV; the format crt resilience and crt serve emit).")
+  in
+  let run seed k workload graph_file aspect schemes pairs_n csv json =
     let g = load_graph ~seed ~graph_file ~workload ~aspect in
     let apsp = Apsp.compute_parallel g in
     let pairs = sample_pairs_exn ~seed:(seed + 1) apsp ~count:pairs_n in
@@ -254,14 +260,19 @@ let eval_cmd =
           ])
       rows;
     T.print table;
-    match csv with
+    (match csv with
     | Some path ->
         Experiment.write_csv rows path;
         Printf.printf "csv written to %s\n" path
+    | None -> ());
+    match json with
+    | Some path ->
+        Experiment.write_jsonl rows path;
+        Printf.printf "json written to %s\n" path
     | None -> ()
   in
   Cmd.v (Cmd.info "eval" ~doc:"Compare schemes on sampled pairs.")
-    Term.(const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ schemes_arg $ pairs_n $ csv_arg)
+    Term.(const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ schemes_arg $ pairs_n $ csv_arg $ json_arg)
 
 (* ---------- resilience ---------- *)
 
@@ -357,7 +368,106 @@ let resilience_cmd =
       const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ schemes_arg
       $ pairs_n $ rates_arg $ model_arg $ ttl_arg $ retries_arg $ json_arg)
 
+(* ---------- serve ---------- *)
+
+let serve_cmd =
+  let module Workload = Cr_engine.Workload in
+  let module Serve = Cr_engine.Serve in
+  let module Pool = Cr_util.Domain_pool in
+  let schemes_arg =
+    Arg.(value & opt (list string) [ "agm06" ]
+         & info [ "schemes" ] ~docv:"LIST" ~doc:"Comma-separated schemes to serve.")
+  in
+  let queries_arg =
+    Arg.(value & opt int 20000 & info [ "queries" ] ~docv:"Q" ~doc:"Queries per scheme in the closed-loop run.")
+  in
+  let dist_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun m -> `Msg m) (Workload.dist_of_string s)),
+        fun fmt d -> Format.pp_print_string fmt (Workload.dist_to_string d) )
+  in
+  let dist_arg =
+    Arg.(value & opt dist_conv (Workload.Zipf 1.1)
+         & info [ "dist" ] ~docv:"D" ~doc:"Query distribution: uniform, zipf (exponent 1.1) or zipf:S.")
+  in
+  let domains_arg =
+    Arg.(value & opt int (Pool.default_domains ())
+         & info [ "domains" ] ~docv:"N" ~doc:"Worker-domain pool width (default min(8, recommended)).")
+  in
+  let cache_arg =
+    Arg.(value & opt int 0 & info [ "cache" ] ~docv:"C" ~doc:"Per-lane LRU route-plan cache capacity in entries (0 disables).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the per-run JSON lines to FILE instead of stdout.")
+  in
+  let run seed k workload graph_file aspect schemes queries dist domains cache json =
+    if domains < 1 then (
+      Printf.eprintf "crt: --domains must be >= 1\n";
+      exit 1);
+    if cache < 0 then (
+      Printf.eprintf "crt: --cache must be >= 0\n";
+      exit 1);
+    let g = load_graph ~seed ~graph_file ~workload ~aspect in
+    let apsp = Apsp.compute_parallel g in
+    let wl_label =
+      match graph_file with Some path -> path | None -> Experiment.workload_name workload
+    in
+    let schemes = List.map (fun name -> build_scheme apsp ~k ~seed name) schemes in
+    let reports =
+      try
+        List.map
+          (fun scheme ->
+            Serve.run ~cache ~dist ~domains ~seed:(seed + 1) ~queries ~workload:wl_label apsp
+              scheme)
+          schemes
+      with Workload.Sample_exhausted ->
+        Printf.eprintf
+          "crt: could not sample %d connected pairs; is the graph disconnected or tiny?\n"
+          queries;
+        exit 1
+    in
+    let table =
+      T.create
+        ~title:
+          (Printf.sprintf "%s, %d queries (%s), k=%d, domains=%d, cache=%d" wl_label queries
+             (Workload.dist_to_string dist) k domains cache)
+        [
+          ("scheme", T.Left); ("routes/s", T.Right); ("p50 us", T.Right); ("p95 us", T.Right);
+          ("p99 us", T.Right); ("hit rate", T.Right); ("delivered", T.Right);
+          ("stretch mean", T.Right); ("p99", T.Right);
+        ]
+    in
+    List.iter
+      (fun (r : Serve.report) ->
+        T.add_row table
+          [
+            r.Serve.scheme;
+            Printf.sprintf "%.0f" r.Serve.routes_per_sec;
+            Printf.sprintf "%.1f" (1e6 *. r.Serve.latency.Cr_util.Stats.p50);
+            Printf.sprintf "%.1f" (1e6 *. r.Serve.latency.Cr_util.Stats.p95);
+            Printf.sprintf "%.1f" (1e6 *. r.Serve.latency.Cr_util.Stats.p99);
+            (if r.Serve.cache_capacity = 0 then "-"
+             else Printf.sprintf "%.3f" (Serve.hit_rate r));
+            Printf.sprintf "%d/%d" r.Serve.delivered r.Serve.queries;
+            T.fmt_float r.Serve.stretch_mean; T.fmt_float r.Serve.stretch_p99;
+          ])
+      reports;
+    T.print table;
+    let lines = List.map Serve.report_to_json reports in
+    match json with
+    | Some path ->
+        Cr_util.Jsonl.write_lines lines path;
+        Printf.printf "json written to %s\n" path
+    | None -> List.iter print_endline lines
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Closed-loop load generator: serve a query workload through the batch engine.")
+    Term.(
+      const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ schemes_arg
+      $ queries_arg $ dist_arg $ domains_arg $ cache_arg $ json_arg)
+
 let () =
   let doc = "compact-routing toolbox: the AGM'06 scale-free name-independent scheme and its comparators" in
-  let main = Cmd.group (Cmd.info "crt" ~doc) [ generate_cmd; info_cmd; decompose_cmd; covers_cmd; route_cmd; eval_cmd; tables_cmd; resilience_cmd ] in
+  let main = Cmd.group (Cmd.info "crt" ~doc) [ generate_cmd; info_cmd; decompose_cmd; covers_cmd; route_cmd; eval_cmd; tables_cmd; resilience_cmd; serve_cmd ] in
   exit (Cmd.eval main)

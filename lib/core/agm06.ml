@@ -11,11 +11,23 @@ module Cover = Cr_cover.Sparse_cover
 type mode = Full | Sparse_only | Dense_only
 
 type stats = {
-  mutable routes : int;
-  mutable delivered : int;
-  mutable fallback_resolved : int;
-  mutable failed : int;
+  routes : int;
+  delivered : int;
+  fallback_resolved : int;
+  failed : int;
   phase_found : int array;
+}
+
+(* Live counters behind [stats] snapshots.  [route] may be called from
+   several domains at once (the batch engine shards query arrays over
+   the shared pool), so the counters are atomic: totals stay exact under
+   any interleaving. *)
+type counters = {
+  routes_c : int Atomic.t;
+  delivered_c : int Atomic.t;
+  fallback_c : int Atomic.t;
+  failed_c : int Atomic.t;
+  phase_found_c : int Atomic.t array;
 }
 
 (* Per-(node, phase) routing plan. *)
@@ -35,7 +47,7 @@ type t = {
   global_root : int;
   global_ni : Ni.t;
   storage : Storage.t;
-  stats : stats;
+  counters : counters;
   scheme : Scheme.t;
 }
 
@@ -211,25 +223,31 @@ let build ?params ?(mode = Full) apsp =
       plans.(u);
     Storage.add storage ~node:u ~category:"local" ~bits:idb (* global root id *)
   done;
-  let stats =
-    { routes = 0; delivered = 0; fallback_resolved = 0; failed = 0; phase_found = Array.make (k + 2) 0 }
+  let counters =
+    {
+      routes_c = Atomic.make 0;
+      delivered_c = Atomic.make 0;
+      fallback_c = Atomic.make 0;
+      failed_c = Atomic.make 0;
+      phase_found_c = Array.init (k + 2) (fun _ -> Atomic.make 0);
+    }
   in
   (* ---- the routing procedure ---- *)
   let route src dst =
     let ident = Graph.name_of g dst in
-    stats.routes <- stats.routes + 1;
+    Atomic.incr counters.routes_c;
     if src = dst then begin
-      stats.delivered <- stats.delivered + 1;
+      Atomic.incr counters.delivered_c;
       { Scheme.walk = [ src ]; delivered = true; phases_used = 0 }
     end
     else begin
       let finish ?(is_global = false) walk_rev phase found =
         if found then begin
-          stats.delivered <- stats.delivered + 1;
-          stats.phase_found.(min phase (k + 1)) <- stats.phase_found.(min phase (k + 1)) + 1;
-          if is_global then stats.fallback_resolved <- stats.fallback_resolved + 1
+          Atomic.incr counters.delivered_c;
+          Atomic.incr counters.phase_found_c.(min phase (k + 1));
+          if is_global then Atomic.incr counters.fallback_c
         end
-        else stats.failed <- stats.failed + 1;
+        else Atomic.incr counters.failed_c;
         { Scheme.walk = List.rev walk_rev; delivered = found; phases_used = phase }
       in
       let rec phase_loop i walk_rev =
@@ -297,7 +315,7 @@ let build ?params ?(mode = Full) apsp =
     global_root;
     global_ni;
     storage;
-    stats;
+    counters;
     scheme;
   }
 
@@ -309,7 +327,15 @@ let params t = t.params
 
 let mode t = t.mode
 
-let stats t = t.stats
+let stats t =
+  let c = t.counters in
+  {
+    routes = Atomic.get c.routes_c;
+    delivered = Atomic.get c.delivered_c;
+    fallback_resolved = Atomic.get c.fallback_c;
+    failed = Atomic.get c.failed_c;
+    phase_found = Array.map Atomic.get c.phase_found_c;
+  }
 
 let center_count t = Hashtbl.length t.centers
 

@@ -44,15 +44,17 @@ val params : t -> Params.t
 val mode : t -> mode
 
 type stats = {
-  mutable routes : int;
-  mutable delivered : int;
-  mutable fallback_resolved : int;  (** delivered only by the global phase *)
-  mutable failed : int;
+  routes : int;
+  delivered : int;
+  fallback_resolved : int;  (** delivered only by the global phase *)
+  failed : int;
   phase_found : int array;  (** index i: deliveries at phase i (1..k+1); k+1 is the global phase *)
 }
 
 val stats : t -> stats
-(** Live counters, updated by every [route] call. *)
+(** Snapshot of the live counters, updated by every [route] call.  The
+    counters are atomic, so the totals stay exact when routes are
+    issued from several domains at once (the batch engine does). *)
 
 val center_count : t -> int
 (** Number of distinct sparse-phase centers (plus the global root). *)

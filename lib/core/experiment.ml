@@ -60,8 +60,12 @@ type row = {
   header_bits : int;
 }
 
-let run_scheme apsp (scheme : Scheme.t) ~pairs =
-  let agg = Simulator.evaluate apsp scheme pairs in
+let run_scheme ?pool apsp (scheme : Scheme.t) ~pairs =
+  (* every caller-facing table runs on the shared spawn-once domain
+     pool by default; results are bit-identical to the sequential path
+     (see Simulator.measure_all) *)
+  let pool = match pool with Some p -> p | None -> Cr_util.Domain_pool.shared () in
+  let agg = Simulator.evaluate ~pool apsp scheme pairs in
   {
     scheme = scheme.Scheme.name;
     delivered = agg.Simulator.delivered;
@@ -74,7 +78,8 @@ let run_scheme apsp (scheme : Scheme.t) ~pairs =
     header_bits = scheme.Scheme.header_bits;
   }
 
-let compare_schemes apsp schemes ~pairs = List.map (fun s -> run_scheme apsp s ~pairs) schemes
+let compare_schemes ?pool apsp schemes ~pairs =
+  List.map (fun s -> run_scheme ?pool apsp s ~pairs) schemes
 
 let default_pairs ?allow_short ~seed apsp ~count =
   let rng = Rng.create seed in
@@ -95,3 +100,20 @@ let rows_to_csv rows =
 let write_csv rows path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (rows_to_csv rows))
+
+let row_to_json r =
+  let module J = Cr_util.Jsonl in
+  J.obj
+    [
+      ("scheme", J.str r.scheme);
+      ("delivered", J.int r.delivered);
+      ("pairs", J.int r.pairs);
+      ("stretch_mean", J.float r.stretch_mean);
+      ("stretch_p99", J.float r.stretch_p99);
+      ("stretch_max", J.float r.stretch_max);
+      ("bits_max", J.int r.bits_max);
+      ("bits_mean", J.float r.bits_mean);
+      ("header_bits", J.int r.header_bits);
+    ]
+
+let write_jsonl rows path = Cr_util.Jsonl.write_lines (List.map row_to_json rows) path

@@ -37,9 +37,15 @@ type row = {
 }
 
 val run_scheme :
+  ?pool:Cr_util.Domain_pool.t ->
   Cr_graph.Apsp.t -> Scheme.t -> pairs:(int * int) array -> row
+(** Evaluates one scheme over the pairs.  The queries run on [pool] —
+    by default the shared spawn-once pool
+    ({!Cr_util.Domain_pool.shared}) — and the row is bit-identical to
+    a sequential evaluation regardless of the pool width. *)
 
 val compare_schemes :
+  ?pool:Cr_util.Domain_pool.t ->
   Cr_graph.Apsp.t -> Scheme.t list -> pairs:(int * int) array -> row list
 
 val default_pairs :
@@ -53,3 +59,11 @@ val rows_to_csv : row list -> string
 
 val write_csv : row list -> string -> unit
 (** [write_csv rows path] writes {!rows_to_csv} to a file. *)
+
+val row_to_json : row -> string
+(** One machine-readable JSON object (single line, no trailing newline)
+    per row — the [crt eval --json] format, mirroring
+    [Cr_resilience.Sweep.cell_to_json]. *)
+
+val write_jsonl : row list -> string -> unit
+(** [write_jsonl rows path] writes one {!row_to_json} line per row. *)

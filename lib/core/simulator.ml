@@ -98,28 +98,47 @@ type aggregate = {
   stretches : float array;
 }
 
-let evaluate apsp scheme pairs =
+let measure_all ?pool apsp scheme pairs =
+  let nq = Array.length pairs in
+  if nq = 0 then [||]
+  else begin
+    (* the placeholder is never returned: every slot is overwritten *)
+    let out =
+      Array.make nq { src = 0; dst = 0; delivered = false; cost = 0.0; hops = 0; stretch = infinity }
+    in
+    let run i =
+      let s, d = pairs.(i) in
+      out.(i) <- measure apsp scheme s d
+    in
+    (match pool with
+    | None -> for i = 0 to nq - 1 do run i done
+    | Some pool -> Cr_util.Domain_pool.parallel_for ~chunk:32 pool ~n:nq run);
+    out
+  end
+
+let aggregate_of_measured results =
   let stretches = ref [] in
   let costs = ref [] in
   let delivered = ref 0 in
   Array.iter
-    (fun (s, d) ->
-      let m = measure apsp scheme s d in
+    (fun (m : measured) ->
       if m.delivered then begin
         incr delivered;
         stretches := m.stretch :: !stretches;
         costs := m.cost :: !costs
       end)
-    pairs;
+    results;
   let stretch_arr = Array.of_list !stretches in
   let cost_arr = Array.of_list !costs in
   {
-    pairs = Array.length pairs;
+    pairs = Array.length results;
     delivered = !delivered;
     stretch_stats = (if Array.length stretch_arr = 0 then Stats.empty_summary else Stats.summarize stretch_arr);
     cost_stats = (if Array.length cost_arr = 0 then Stats.empty_summary else Stats.summarize cost_arr);
     stretches = stretch_arr;
   }
+
+let evaluate ?pool apsp scheme pairs = aggregate_of_measured (measure_all ?pool apsp scheme pairs)
 
 exception Sample_shortfall of { requested : int; found : int }
 

@@ -69,9 +69,30 @@ type aggregate = {
   stretches : float array;  (** raw per-pair stretch values, delivered pairs *)
 }
 
-val evaluate : Cr_graph.Apsp.t -> Scheme.t -> (int * int) array -> aggregate
-(** Measures every pair and summarizes.  Undelivered pairs count in
-    [pairs] but not in the stretch statistics. *)
+val measure_all :
+  ?pool:Cr_util.Domain_pool.t ->
+  Cr_graph.Apsp.t -> Scheme.t -> (int * int) array -> measured array
+(** [measure_all ?pool apsp scheme pairs] measures every pair into a
+    result array with [result.(i)] for [pairs.(i)].  With [pool], the
+    queries are sharded across the pool's domains; since {!measure} is
+    a pure function of its arguments and every query writes its own
+    slot, the array is bit-identical to the sequential one.  Schemes
+    must therefore be safe to query from several domains: all schemes
+    in this repo route from immutable preprocessed tables (the AGM06
+    live counters are atomic).
+    @raise Invalid_walk as {!measure} (from any domain, re-raised in
+    the caller). *)
+
+val aggregate_of_measured : measured array -> aggregate
+(** Folds a result array (in index order, so summaries are reproducible
+    bit-for-bit) into an {!aggregate}. *)
+
+val evaluate :
+  ?pool:Cr_util.Domain_pool.t ->
+  Cr_graph.Apsp.t -> Scheme.t -> (int * int) array -> aggregate
+(** Measures every pair and summarizes
+    ([aggregate_of_measured (measure_all ?pool ...)]).  Undelivered
+    pairs count in [pairs] but not in the stretch statistics. *)
 
 exception Sample_shortfall of { requested : int; found : int }
 (** Raised by {!sample_pairs} when the rejection-sampling guard expired

@@ -1,0 +1,114 @@
+(* The batch query engine: shards a (src, dst) query array across the
+   lanes of a domain pool, optionally consulting a per-lane LRU
+   route-plan cache, and records throughput plus per-query latency.
+
+   Determinism contract (tested in test/test_engine.ml):
+   - result.(i) is a pure function of (apsp, scheme, pairs.(i)):
+     Simulator.measure reads only immutable preprocessed tables, so the
+     result array is bit-identical across any pool width and with the
+     cache on or off.
+   - Sharding is static: lane l owns the contiguous slice
+     [l*nq/lanes, (l+1)*nq/lanes), so each per-lane cache is touched by
+     exactly one executor per batch (no locking needed) and hit/miss
+     totals are reproducible for a fixed (pairs, lanes, capacity).
+   - Metrics (wall time, latency percentiles) are measured, not
+     simulated, and are the only nondeterministic outputs. *)
+
+module Pool = Cr_util.Domain_pool
+module Stats = Cr_util.Stats
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Sim = Compact_routing.Simulator
+module Scheme = Compact_routing.Scheme
+
+type t = {
+  pool : Pool.t;
+  cache_capacity : int;
+  caches : Sim.measured Lru.t array; (* one per lane; [||] when disabled *)
+  mutable served : int;
+  mutable busy_s : float;
+}
+
+type metrics = {
+  queries : int;
+  domains : int;
+  wall_s : float;
+  routes_per_sec : float;
+  latency : Stats.summary;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let create ?(cache = 0) ?pool () =
+  if cache < 0 then invalid_arg "Engine.create: negative cache capacity";
+  let pool = match pool with Some p -> p | None -> Pool.shared () in
+  let caches =
+    if cache = 0 then [||]
+    else Array.init (Pool.domains pool) (fun _ -> Lru.create ~capacity:cache)
+  in
+  { pool; cache_capacity = cache; caches; served = 0; busy_s = 0.0 }
+
+let pool t = t.pool
+let cache_capacity t = t.cache_capacity
+let served t = t.served
+let busy_seconds t = t.busy_s
+
+let cache_stats t =
+  Array.fold_left (fun (h, m) c -> (h + Lru.hits c, m + Lru.misses c)) (0, 0) t.caches
+
+let slice ~lanes ~nq lane = (lane * nq / lanes, (lane + 1) * nq / lanes)
+
+let run_batch t apsp scheme pairs =
+  let nq = Array.length pairs in
+  let lanes = Pool.domains t.pool in
+  let n = Graph.n (Apsp.graph apsp) in
+  (* placeholders: every slot is overwritten below *)
+  let out =
+    Array.make (max nq 1)
+      { Sim.src = 0; dst = 0; delivered = false; cost = 0.0; hops = 0; stretch = infinity }
+  in
+  let lat = Array.make (max nq 1) 0.0 in
+  let hits0, misses0 = cache_stats t in
+  let t0 = Unix.gettimeofday () in
+  if nq > 0 then
+    Pool.parallel_for ~chunk:1 t.pool ~n:lanes (fun lane ->
+        let lo, hi = slice ~lanes ~nq lane in
+        let cache = if Array.length t.caches = 0 then None else Some t.caches.(lane) in
+        for q = lo to hi - 1 do
+          let s, d = pairs.(q) in
+          let q0 = Unix.gettimeofday () in
+          let m =
+            match cache with
+            | None -> Sim.measure apsp scheme s d
+            | Some c -> (
+                let key = (s * n) + d in
+                match Lru.find c key with
+                | Some m -> m
+                | None ->
+                    let m = Sim.measure apsp scheme s d in
+                    Lru.add c key m;
+                    m)
+          in
+          out.(q) <- m;
+          lat.(q) <- Unix.gettimeofday () -. q0
+        done);
+  let wall = Unix.gettimeofday () -. t0 in
+  let hits1, misses1 = cache_stats t in
+  t.served <- t.served + nq;
+  t.busy_s <- t.busy_s +. wall;
+  let metrics =
+    {
+      queries = nq;
+      domains = lanes;
+      wall_s = wall;
+      routes_per_sec = (if wall > 0.0 then float_of_int nq /. wall else 0.0);
+      latency = (if nq = 0 then Stats.empty_summary else Stats.summarize (Array.sub lat 0 nq));
+      cache_hits = hits1 - hits0;
+      cache_misses = misses1 - misses0;
+    }
+  in
+  ((if nq = 0 then [||] else Array.sub out 0 nq), metrics)
+
+let evaluate t apsp scheme pairs =
+  let results, metrics = run_batch t apsp scheme pairs in
+  (Sim.aggregate_of_measured results, metrics)

@@ -1,0 +1,74 @@
+(** The multicore batch query engine.
+
+    Turns routing evaluation into a served workload: a query batch
+    [(src, dst) array] is sharded statically across the lanes of a
+    spawn-once domain pool, each lane optionally consulting its own LRU
+    route-plan cache, while the engine records throughput and per-query
+    latency.
+
+    {2 Determinism contract}
+
+    - [result.(i)] corresponds to [pairs.(i)] and is a pure function of
+      [(apsp, scheme, pairs.(i))] — bit-identical across any pool width
+      and with the cache on or off (cached entries are the values the
+      computation would produce).
+    - Sharding is static (lane [l] owns one contiguous slice), so each
+      per-lane cache has a single executor per batch and hit/miss
+      totals are reproducible for a fixed [(pairs, domains, capacity)].
+    - Only the measured {!metrics} (wall time, latency percentiles) are
+      nondeterministic.
+
+    Schemes must be safe to query from several domains: every scheme in
+    this repo routes from immutable preprocessed tables (the AGM06 live
+    counters are atomic). *)
+
+type t
+
+type metrics = {
+  queries : int;
+  domains : int;  (** pool lanes used, including the caller *)
+  wall_s : float;
+  routes_per_sec : float;
+  latency : Cr_util.Stats.summary;  (** per-query seconds: p50/p95/p99 etc. *)
+  cache_hits : int;  (** this batch, summed over lanes *)
+  cache_misses : int;
+}
+
+val create : ?cache:int -> ?pool:Cr_util.Domain_pool.t -> unit -> t
+(** [create ()] runs on the shared pool with the cache disabled.
+    [cache] is the per-lane LRU capacity in entries ([0] disables;
+    negative raises [Invalid_argument]).  Caches persist across
+    batches of the same engine. *)
+
+val pool : t -> Cr_util.Domain_pool.t
+
+val cache_capacity : t -> int
+
+val run_batch :
+  t ->
+  Cr_graph.Apsp.t ->
+  Compact_routing.Scheme.t ->
+  (int * int) array ->
+  Compact_routing.Simulator.measured array * metrics
+(** Routes and measures every query.
+    @raise Compact_routing.Simulator.Invalid_walk if the scheme emits a
+    malformed walk (re-raised in the caller whichever lane hit it). *)
+
+val evaluate :
+  t ->
+  Cr_graph.Apsp.t ->
+  Compact_routing.Scheme.t ->
+  (int * int) array ->
+  Compact_routing.Simulator.aggregate * metrics
+(** {!run_batch} folded through
+    {!Compact_routing.Simulator.aggregate_of_measured} — the aggregate
+    is identical to [Simulator.evaluate]'s. *)
+
+val served : t -> int
+(** Lifetime query count across batches. *)
+
+val busy_seconds : t -> float
+(** Lifetime wall seconds spent inside batches. *)
+
+val cache_stats : t -> int * int
+(** Lifetime [(hits, misses)] summed over the per-lane caches. *)

@@ -1,0 +1,79 @@
+(* Bounded LRU map over int keys: a hash table for lookup plus an
+   intrusive doubly-linked recency list (front = most recent).  One
+   instance belongs to exactly one engine lane at a time, so there is no
+   internal locking; cross-batch visibility is ordered by the pool's
+   join. *)
+
+type 'a node = {
+  key : int;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  capacity : int;
+  table : (int, 'a node) Hashtbl.t;
+  mutable front : 'a node option;
+  mutable back : 'a node option;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    front = None;
+    back = None;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.front <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.back <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.front;
+  n.prev <- None;
+  (match t.front with Some f -> f.prev <- Some n | None -> t.back <- Some n);
+  t.front <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      unlink t n;
+      push_front t n;
+      Some n.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      n.value <- value;
+      unlink t n;
+      push_front t n
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then
+        (match t.back with
+        | Some lru ->
+            Hashtbl.remove t.table lru.key;
+            unlink t lru
+        | None -> ());
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n
+
+let mem t key = Hashtbl.mem t.table key

@@ -1,0 +1,31 @@
+(** Bounded least-recently-used map over [int] keys, with hit/miss
+    counters.
+
+    Backs the engine's per-lane route-plan caches: keys are packed
+    [(src, dst)] pairs, values are measured routes.  Not thread-safe by
+    itself — each instance is owned by one engine lane per batch, and
+    the pool's join orders cross-batch access. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val find : 'a t -> int -> 'a option
+(** Lookup; a hit promotes the entry to most-recently-used and
+    increments {!hits}, a miss increments {!misses}. *)
+
+val add : 'a t -> int -> 'a -> unit
+(** Insert or update (promoting to most-recently-used), evicting the
+    least-recently-used entry when full. *)
+
+val mem : 'a t -> int -> bool
+(** Membership without touching recency or counters. *)
+
+val length : 'a t -> int
+
+val capacity : 'a t -> int
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int

@@ -1,0 +1,81 @@
+(* Closed-loop load generation: generate a deterministic workload, push
+   it through the engine at full speed, and report throughput, latency
+   percentiles, cache behavior and routing quality in one record.
+   Shared by the [crt serve] subcommand and the P1 bench target. *)
+
+module Pool = Cr_util.Domain_pool
+module Stats = Cr_util.Stats
+module Jsonl = Cr_util.Jsonl
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Sim = Compact_routing.Simulator
+module Scheme = Compact_routing.Scheme
+
+type report = {
+  scheme : string;
+  workload : string;
+  dist : string;
+  queries : int;
+  domains : int;
+  cache_capacity : int;
+  wall_s : float;
+  routes_per_sec : float;
+  latency : Stats.summary; (* seconds per query *)
+  cache_hits : int;
+  cache_misses : int;
+  delivered : int;
+  stretch_mean : float;
+  stretch_p99 : float;
+}
+
+let hit_rate r =
+  let total = r.cache_hits + r.cache_misses in
+  if total = 0 then 0.0 else float_of_int r.cache_hits /. float_of_int total
+
+let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ~domains ~seed ~queries ~workload apsp scheme =
+  let pool = Pool.create ~domains in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let n = Graph.n (Apsp.graph apsp) in
+      let pairs = Workload.generate ~pool ~connected_in:apsp dist ~seed ~n ~count:queries in
+      let engine = Engine.create ~cache ~pool () in
+      let agg, m = Engine.evaluate engine apsp scheme pairs in
+      {
+        scheme = scheme.Scheme.name;
+        workload;
+        dist = Workload.dist_to_string dist;
+        queries = m.Engine.queries;
+        domains = Pool.domains pool;
+        cache_capacity = cache;
+        wall_s = m.Engine.wall_s;
+        routes_per_sec = m.Engine.routes_per_sec;
+        latency = m.Engine.latency;
+        cache_hits = m.Engine.cache_hits;
+        cache_misses = m.Engine.cache_misses;
+        delivered = agg.Sim.delivered;
+        stretch_mean = agg.Sim.stretch_stats.Stats.mean;
+        stretch_p99 = agg.Sim.stretch_stats.Stats.p99;
+      })
+
+let report_to_json r =
+  Jsonl.obj
+    [
+      ("scheme", Jsonl.str r.scheme);
+      ("workload", Jsonl.str r.workload);
+      ("dist", Jsonl.str r.dist);
+      ("queries", Jsonl.int r.queries);
+      ("domains", Jsonl.int r.domains);
+      ("cache", Jsonl.int r.cache_capacity);
+      ("wall_s", Jsonl.float r.wall_s);
+      ("routes_per_sec", Jsonl.float r.routes_per_sec);
+      ("latency_p50_us", Jsonl.float (1e6 *. r.latency.Stats.p50));
+      ("latency_p95_us", Jsonl.float (1e6 *. r.latency.Stats.p95));
+      ("latency_p99_us", Jsonl.float (1e6 *. r.latency.Stats.p99));
+      ("cache_hits", Jsonl.int r.cache_hits);
+      ("cache_misses", Jsonl.int r.cache_misses);
+      ("hit_rate", Jsonl.float (hit_rate r));
+      ("delivered", Jsonl.int r.delivered);
+      ("stretch_mean", Jsonl.float r.stretch_mean);
+      ("stretch_p99", Jsonl.float r.stretch_p99);
+    ]

@@ -1,0 +1,47 @@
+(** Closed-loop load generation over the batch engine.
+
+    One [run] = one served workload: a deterministic query stream
+    (see {!Workload}) pushed through {!Engine} on a dedicated pool of
+    the requested width, reported as throughput, latency percentiles,
+    cache behavior and routing quality.  Shared by [crt serve] and the
+    [P1] bench target, so the CLI and the bench agree on semantics. *)
+
+type report = {
+  scheme : string;
+  workload : string;  (** caller-supplied label, e.g. ["erdos-renyi(n=1024)"] *)
+  dist : string;
+  queries : int;
+  domains : int;
+  cache_capacity : int;  (** per-lane LRU entries; 0 = disabled *)
+  wall_s : float;
+  routes_per_sec : float;
+  latency : Cr_util.Stats.summary;  (** seconds per query *)
+  cache_hits : int;
+  cache_misses : int;
+  delivered : int;
+  stretch_mean : float;
+  stretch_p99 : float;
+}
+
+val hit_rate : report -> float
+(** [hits / (hits + misses)]; 0 when the cache is off. *)
+
+val run :
+  ?cache:int ->
+  ?dist:Workload.dist ->
+  domains:int ->
+  seed:int ->
+  queries:int ->
+  workload:string ->
+  Cr_graph.Apsp.t ->
+  Compact_routing.Scheme.t ->
+  report
+(** Generates [queries] connected pairs ([dist] defaults to
+    [Zipf 1.1]), serves them on a fresh pool of [domains] lanes (shut
+    down before returning), and reports.  The query stream and the
+    routing results depend only on [(dist, seed, queries)] — never on
+    [domains] or [cache]; only the measured throughput/latency do. *)
+
+val report_to_json : report -> string
+(** One machine-readable JSON object (single line, no trailing
+    newline); latencies in microseconds. *)

@@ -1,0 +1,40 @@
+(** Deterministic query workloads for the batch engine.
+
+    Pairs are drawn in fixed logical blocks of 1024 queries; block [b]
+    always uses its own splitmix64 stream derived from [(seed, b)], no
+    matter which domain fills it, so the generated array depends only
+    on [(dist, seed, n, count)] — never on the pool width.  This is
+    what lets [crt serve --domains 1/2/4] replay the *same* workload
+    while varying parallelism. *)
+
+type dist =
+  | Uniform  (** both endpoints uniform over the nodes *)
+  | Zipf of float
+      (** both endpoints Zipf with the given exponent; node index =
+          popularity rank (node 0 hottest), which the generators'
+          adversarial relabeling decouples from topology *)
+
+val dist_to_string : dist -> string
+
+val dist_of_string : string -> (dist, string) Stdlib.result
+(** Accepts ["uniform"], ["zipf"] (exponent 1.1) and ["zipf:S"]. *)
+
+exception Sample_exhausted
+(** A block stream failed to draw a valid pair in 10000 tries — the
+    graph is too small or too disconnected for the requested filter. *)
+
+val generate :
+  ?pool:Cr_util.Domain_pool.t ->
+  ?connected_in:Cr_graph.Apsp.t ->
+  dist ->
+  seed:int ->
+  n:int ->
+  count:int ->
+  (int * int) array
+(** [generate dist ~seed ~n ~count] draws [count] pairs with
+    [src <> dst].  With [connected_in], pairs are additionally
+    rejection-sampled to be at finite distance (what [crt serve] uses,
+    so every scheme sees a deliverable workload).  With [pool], blocks
+    are filled in parallel — the result is identical either way.
+    @raise Sample_exhausted when rejection sampling cannot find a valid
+    pair. *)

@@ -14,33 +14,16 @@ let compute g =
 
 let compute_parallel ?domains g =
   let n = Graph.n g in
-  let domains =
-    match domains with
-    | Some d -> max 1 d
-    | None -> min 8 (Domain.recommended_domain_count ())
-  in
+  let module Pool = Cr_util.Domain_pool in
+  let domains = match domains with Some d -> max 1 d | None -> Pool.default_domains () in
   if domains <= 1 || n < 2 * domains then compute g
   else begin
-    (* one placeholder result; every slot is overwritten below *)
+    (* one placeholder result; every slot is overwritten below.  The
+       sources run on the shared, spawn-once pool: each Dijkstra only
+       reads the immutable graph and writes its own slot, so any
+       execution order yields the same array. *)
     let results = Array.make n (Dijkstra.run g 0) in
-    let next = Atomic.make 0 in
-    let chunk = 16 in
-    let worker () =
-      let rec loop () =
-        let start = Atomic.fetch_and_add next chunk in
-        if start < n then begin
-          let stop = min n (start + chunk) in
-          for s = start to stop - 1 do
-            results.(s) <- Dijkstra.run g s
-          done;
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join spawned;
+    Pool.parallel_for ~chunk:16 (Pool.shared ()) ~n (fun s -> results.(s) <- Dijkstra.run g s);
     { graph = g; results; balls = Array.make n None }
   end
 

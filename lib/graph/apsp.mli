@@ -10,11 +10,15 @@ val compute : Graph.t -> t
 (** Runs [n] Dijkstras sequentially. *)
 
 val compute_parallel : ?domains:int -> Graph.t -> t
-(** Same result, with the sources partitioned across OCaml 5 domains
-    ([domains] defaults to [Domain.recommended_domain_count ()], capped
-    at 8).  Each Dijkstra only reads the (immutable) graph, so the
-    sources are embarrassingly parallel; results are written to disjoint
-    slices.  Falls back to the sequential path when [domains <= 1]. *)
+(** Same result, with the sources partitioned across the shared
+    spawn-once domain pool ({!Cr_util.Domain_pool.shared}), so repeated
+    APSP builds in one process pay no per-call domain-spawn cost.
+    [domains] defaults to {!Cr_util.Domain_pool.default_domains}; it
+    gates the sequential fallback ([domains <= 1] or a tiny graph runs
+    {!compute} in the caller) while the actual width is the shared
+    pool's.  Each Dijkstra only reads the (immutable) graph and writes
+    its own result slot, so the result is identical — not merely
+    statistically equal — to {!compute}'s. *)
 
 val graph : t -> Graph.t
 

@@ -46,30 +46,43 @@ let make_plan model ~seed ~rate apsp (scheme : Scheme.t) pairs =
       let count = int_of_float (Float.round (rate *. float_of_int (Graph.m g))) in
       Fault_plan.targeted_edges g ~hot ~count
 
-let run_cell policy plan ~rate apsp (scheme : Scheme.t) pairs =
+let run_cell ?pool policy plan ~rate apsp (scheme : Scheme.t) pairs =
+  (* replay phase: every pair is independent (Fsim.run keeps all its
+     state per call), so the replays shard across the pool; the tally
+     below walks the result array in pair order, making the cell —
+     including the prepend-order of the stretch sample — identical to
+     the sequential one *)
+  let nq = Array.length pairs in
+  let results = Array.make nq None in
+  let replay i =
+    let s, d = pairs.(i) in
+    if Fault_plan.node_alive plan s && Fault_plan.node_alive plan d then
+      results.(i) <- Some (Fsim.run policy plan apsp scheme ~src:s ~dst:d)
+  in
+  (match pool with
+  | None -> for i = 0 to nq - 1 do replay i done
+  | Some pool -> Cr_util.Domain_pool.parallel_for ~chunk:8 pool ~n:nq replay);
   let skipped = ref 0 in
   let delivered = ref 0 and dropped = ref 0 and ttl_kills = ref 0 in
   let loops = ref 0 and no_route = ref 0 and invalid = ref 0 in
   let retries_total = ref 0 and evaluated = ref 0 in
   let stretches = ref [] in
   Array.iter
-    (fun (s, d) ->
-      if not (Fault_plan.node_alive plan s && Fault_plan.node_alive plan d) then incr skipped
-      else begin
-        incr evaluated;
-        let r = Fsim.run policy plan apsp scheme ~src:s ~dst:d in
-        retries_total := !retries_total + r.Fsim.retries;
-        match r.Fsim.outcome with
-        | Sim.Delivered ->
-            incr delivered;
-            stretches := r.Fsim.stretch :: !stretches
-        | Sim.Dropped_at_fault _ -> incr dropped
-        | Sim.Ttl_exceeded -> incr ttl_kills
-        | Sim.Loop_detected -> incr loops
-        | Sim.No_route -> incr no_route
-        | Sim.Invalid_hop _ -> incr invalid
-      end)
-    pairs;
+    (function
+      | None -> incr skipped
+      | Some (r : Fsim.result) -> (
+          incr evaluated;
+          retries_total := !retries_total + r.Fsim.retries;
+          match r.Fsim.outcome with
+          | Sim.Delivered ->
+              incr delivered;
+              stretches := r.Fsim.stretch :: !stretches
+          | Sim.Dropped_at_fault _ -> incr dropped
+          | Sim.Ttl_exceeded -> incr ttl_kills
+          | Sim.Loop_detected -> incr loops
+          | Sim.No_route -> incr no_route
+          | Sim.Invalid_hop _ -> incr invalid))
+    results;
   let stretch_arr = Array.of_list !stretches in
   {
     scheme = scheme.Scheme.name;
@@ -88,49 +101,40 @@ let run_cell policy plan ~rate apsp (scheme : Scheme.t) pairs =
       (if Array.length stretch_arr = 0 then Stats.empty_summary else Stats.summarize stretch_arr);
   }
 
-let sweep ?policy ~model ~seed ~rates apsp schemes pairs =
+let sweep ?pool ?policy ~model ~seed ~rates apsp schemes pairs =
   let policy =
     match policy with Some p -> p | None -> Fsim.default_policy (Apsp.graph apsp)
   in
+  let pool = match pool with Some p -> p | None -> Cr_util.Domain_pool.shared () in
   List.concat_map
     (fun scheme ->
       List.map
         (fun rate ->
           let plan = make_plan model ~seed ~rate apsp scheme pairs in
-          run_cell policy plan ~rate apsp scheme pairs)
+          run_cell ~pool policy plan ~rate apsp scheme pairs)
         rates)
     schemes
 
-(* Minimal JSON escaping: scheme and model labels are ASCII identifiers,
-   but stay safe about quotes/backslashes/control bytes anyway. *)
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_float x =
-  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
-  else Printf.sprintf "%.6g" x
-
 let cell_to_json c =
-  Printf.sprintf
-    "{\"scheme\":\"%s\",\"model\":\"%s\",\"rate\":%s,\"pairs\":%d,\"skipped\":%d,\
-     \"delivered\":%d,\"dropped\":%d,\"ttl_kills\":%d,\"loops\":%d,\"no_route\":%d,\
-     \"invalid\":%d,\"retries\":%d,\"delivery_ratio\":%s,\"stretch_mean\":%s,\
-     \"stretch_p99\":%s,\"stretch_max\":%s}"
-    (json_escape c.scheme) (json_escape c.model) (json_float c.rate) c.pairs c.skipped
-    c.delivered c.dropped c.ttl_kills c.loops c.no_route c.invalid c.retries_total
-    (json_float (delivery_ratio c))
-    (json_float c.stretch.Stats.mean)
-    (json_float c.stretch.Stats.p99)
-    (json_float c.stretch.Stats.max)
+  let module J = Cr_util.Jsonl in
+  J.obj
+    [
+      ("scheme", J.str c.scheme);
+      ("model", J.str c.model);
+      ("rate", J.float c.rate);
+      ("pairs", J.int c.pairs);
+      ("skipped", J.int c.skipped);
+      ("delivered", J.int c.delivered);
+      ("dropped", J.int c.dropped);
+      ("ttl_kills", J.int c.ttl_kills);
+      ("loops", J.int c.loops);
+      ("no_route", J.int c.no_route);
+      ("invalid", J.int c.invalid);
+      ("retries", J.int c.retries_total);
+      ("delivery_ratio", J.float (delivery_ratio c));
+      ("stretch_mean", J.float c.stretch.Stats.mean);
+      ("stretch_p99", J.float c.stretch.Stats.p99);
+      ("stretch_max", J.float c.stretch.Stats.max);
+    ]
 
 let default_rates = [ 0.0; 0.01; 0.05; 0.1; 0.2 ]

@@ -45,6 +45,7 @@ val make_plan :
     scheme's healthy routes over [pairs] to rank edges by traversals. *)
 
 val run_cell :
+  ?pool:Cr_util.Domain_pool.t ->
   Fsim.policy ->
   Fault_plan.t ->
   rate:float ->
@@ -52,9 +53,13 @@ val run_cell :
   Compact_routing.Scheme.t ->
   (int * int) array ->
   cell
-(** Replays every pair through {!Fsim.run} and tallies outcomes. *)
+(** Replays every pair through {!Fsim.run} and tallies outcomes.  With
+    [pool], the replays shard across the pool's domains; the tally
+    walks the results in pair order, so the cell is identical to the
+    sequential one. *)
 
 val sweep :
+  ?pool:Cr_util.Domain_pool.t ->
   ?policy:Fsim.policy ->
   model:model ->
   seed:int ->
@@ -63,10 +68,12 @@ val sweep :
   Compact_routing.Scheme.t list ->
   (int * int) array ->
   cell list
-(** One cell per (scheme, rate), schemes outermost.  For a fixed seed the
-    fault sets are nested across rates (see {!Fault_plan}), so with the
-    default no-retry policy the delivery ratio is monotone non-increasing
-    in the rate. *)
+(** One cell per (scheme, rate), schemes outermost, replayed on [pool]
+    (default: the shared spawn-once pool,
+    {!Cr_util.Domain_pool.shared}).  For a fixed seed the fault sets
+    are nested across rates (see {!Fault_plan}), so with the default
+    no-retry policy the delivery ratio is monotone non-increasing in
+    the rate. *)
 
 val cell_to_json : cell -> string
 (** One machine-readable JSON object (single line, no trailing newline)

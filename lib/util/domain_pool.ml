@@ -1,0 +1,174 @@
+(* A reusable pool of worker domains.
+
+   OCaml 5 domains are heavyweight (each owns a minor heap and takes a
+   slot of the runtime's fixed domain table), so spawning fresh domains
+   per parallel region — as the first Apsp.compute_parallel did — wastes
+   milliseconds per call and caps how often parallelism pays off.  This
+   pool spawns its workers once; each [parallel_for] publishes one job
+   (a chunked atomic work counter) to the sleeping workers, the caller
+   participates as the extra lane, and the workers go back to sleep.
+
+   Correctness notes:
+   - Results must be written to per-index slots by the body; the pool
+     itself guarantees only that every index in [0, n) is executed
+     exactly once and that all writes are visible to the caller when
+     [parallel_for] returns (the join happens under the pool mutex).
+   - The first exception raised by any lane is re-raised in the caller
+     after every lane has drained; remaining indexes may be skipped.
+   - Reentrancy: a [parallel_for] issued while the pool is already
+     running a job (from a nested body or another domain) degrades to a
+     sequential loop in the caller rather than deadlocking. *)
+
+type job = {
+  body : int -> unit;
+  next : int Atomic.t;
+  total : int;
+  chunk : int;
+  failure : exn option Atomic.t;
+}
+
+type t = {
+  size : int; (* lanes, including the calling domain *)
+  mutex : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  mutable job : job option;
+  mutable generation : int;
+  mutable running : int; (* workers still inside the current job *)
+  mutable busy : bool; (* a parallel_for is in flight *)
+  mutable stopped : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let domains t = t.size
+
+let run_job j =
+  let rec loop () =
+    let start = Atomic.fetch_and_add j.next j.chunk in
+    if start < j.total && Atomic.get j.failure = None then begin
+      let stop = min j.total (start + j.chunk) in
+      (try
+         for i = start to stop - 1 do
+           j.body i
+         done
+       with e -> ignore (Atomic.compare_and_set j.failure None (Some e)));
+      loop ()
+    end
+  in
+  loop ()
+
+let worker t () =
+  let rec wait_for gen =
+    Mutex.lock t.mutex;
+    while (not t.stopped) && t.generation = gen do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stopped then Mutex.unlock t.mutex
+    else begin
+      let gen = t.generation in
+      let j = Option.get t.job in
+      Mutex.unlock t.mutex;
+      run_job j;
+      Mutex.lock t.mutex;
+      t.running <- t.running - 1;
+      if t.running = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex;
+      wait_for gen
+    end
+  in
+  wait_for 0
+
+let create ~domains =
+  (* the runtime supports ~128 live domains; stay well clear so several
+     pools (tests spawn a few) can coexist *)
+  let size = max 1 (min domains 64) in
+  let t =
+    {
+      size;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      generation = 0;
+      running = 0;
+      busy = false;
+      stopped = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.stopped then Mutex.unlock t.mutex
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let sequential_for n f =
+  for i = 0 to n - 1 do
+    f i
+  done
+
+let parallel_for ?(chunk = 16) t ~n f =
+  if n <= 0 then ()
+  else if t.size <= 1 then sequential_for n f
+  else begin
+    let chunk = max 1 chunk in
+    Mutex.lock t.mutex;
+    if t.busy || t.stopped then begin
+      (* nested or post-shutdown use: stay correct, drop parallelism *)
+      Mutex.unlock t.mutex;
+      sequential_for n f
+    end
+    else begin
+      let j = { body = f; next = Atomic.make 0; total = n; chunk; failure = Atomic.make None } in
+      t.busy <- true;
+      t.job <- Some j;
+      t.generation <- t.generation + 1;
+      t.running <- Array.length t.workers;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      run_job j;
+      Mutex.lock t.mutex;
+      while t.running > 0 do
+        Condition.wait t.finished t.mutex
+      done;
+      t.job <- None;
+      t.busy <- false;
+      Mutex.unlock t.mutex;
+      match Atomic.get j.failure with Some e -> raise e | None -> ()
+    end
+  end
+
+(* ---- the process-wide shared pool ---- *)
+
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let shared_lock = Mutex.create ()
+let shared_pool : t option ref = ref None
+
+let shared () =
+  Mutex.lock shared_lock;
+  let p =
+    match !shared_pool with
+    | Some p -> p
+    | None ->
+        let p = create ~domains:(default_domains ()) in
+        shared_pool := Some p;
+        p
+  in
+  Mutex.unlock shared_lock;
+  p
+
+let set_shared_domains domains =
+  Mutex.lock shared_lock;
+  let old = !shared_pool in
+  shared_pool := Some (create ~domains);
+  Mutex.unlock shared_lock;
+  Option.iter shutdown old

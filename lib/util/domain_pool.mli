@@ -1,0 +1,53 @@
+(** A reusable pool of OCaml 5 worker domains.
+
+    Spawning a domain costs milliseconds and a slot in the runtime's
+    fixed domain table, so parallel regions that re-spawn per call
+    amortize badly.  A pool spawns its workers once; every
+    {!parallel_for} then publishes one chunked job to the sleeping
+    workers and the calling domain participates as one more lane.
+
+    This is the substrate of the batch query engine ([Cr_engine]) and
+    of [Cr_graph.Apsp.compute_parallel]; both promise results that are
+    bit-identical to their sequential paths, which the pool supports by
+    construction: each index of [0, n) is executed exactly once, and
+    bodies write to disjoint per-index slots. *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains] spawns [domains - 1] worker domains (the caller
+    is the remaining lane).  [domains] is clamped to [\[1, 64\]].  A
+    pool of size 1 runs everything sequentially in the caller. *)
+
+val domains : t -> int
+(** Number of lanes, including the calling domain. *)
+
+val parallel_for : ?chunk:int -> t -> n:int -> (int -> unit) -> unit
+(** [parallel_for pool ~n f] runs [f i] for every [i] in [0, n),
+    partitioned dynamically in chunks of [chunk] (default 16) over the
+    pool's lanes, and returns when all lanes have drained.  The first
+    exception raised by any lane is re-raised in the caller (remaining
+    indexes may be skipped).  A nested or concurrent call while the
+    pool is busy degrades to a sequential loop instead of
+    deadlocking. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  Idempotent.  Subsequent
+    {!parallel_for}s run sequentially. *)
+
+val default_domains : unit -> int
+(** [min 8 (Domain.recommended_domain_count ())] — the width used for
+    the shared pool and for callers that do not pick one. *)
+
+val shared : unit -> t
+(** The process-wide pool, created on first use with
+    {!default_domains} lanes.  [Apsp.compute_parallel], the batch
+    engine's default, [Experiment.run_scheme] and the resilience
+    sweeps all run on this pool, so a process pays the spawn cost once
+    no matter how many tables it builds. *)
+
+val set_shared_domains : int -> unit
+(** Replaces the shared pool with a fresh one of the given width (the
+    old pool is shut down).  Intended for CLI entry points
+    ([crt serve --domains D]); do not call while a [parallel_for] on
+    the shared pool is in flight. *)

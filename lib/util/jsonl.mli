@@ -1,0 +1,28 @@
+(** Minimal JSON-lines emission for machine-readable CLI/bench output.
+
+    Every subcommand that prints result rows ([crt eval], [crt
+    resilience], [crt serve]) emits one JSON object per row through
+    these helpers, so downstream plotting needs no OCaml JSON
+    dependency and all subcommands agree on number formatting. *)
+
+val escape : string -> string
+(** Escapes quotes, backslashes and control bytes for a JSON string
+    body (no surrounding quotes). *)
+
+val str : string -> string
+(** A quoted, escaped JSON string. *)
+
+val float : float -> string
+(** Integral floats as ["1.0"], others as [%.6g] — matches the format
+    the resilience sweep has emitted since it was introduced. *)
+
+val int : int -> string
+
+val bool : bool -> string
+
+val obj : (string * string) list -> string
+(** [obj fields] renders [{"k":v,...}] on one line; values must already
+    be rendered JSON ({!str}, {!float}, {!int}, {!bool}). *)
+
+val write_lines : string list -> string -> unit
+(** [write_lines lines path] writes each line plus ["\n"] to [path]. *)

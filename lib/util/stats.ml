@@ -6,11 +6,12 @@ type summary = {
   max : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
 }
 
 let empty_summary =
-  { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+  { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p95 = 0.; p99 = 0. }
 
 let mean xs =
   let n = Array.length xs in
@@ -51,6 +52,7 @@ let summarize xs =
     max = sorted.(n - 1);
     p50 = percentile sorted 0.5;
     p90 = percentile sorted 0.9;
+    p95 = percentile sorted 0.95;
     p99 = percentile sorted 0.99;
   }
 

@@ -11,6 +11,7 @@ type summary = {
   max : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
 }
 (** Five-number-style summary of a sample. *)
