@@ -401,7 +401,7 @@ let f1 () =
     (fun sch ->
       let agg = Simulator.evaluate apsp sch pairs in
       let sorted = Array.copy agg.Simulator.stretches in
-      Array.sort compare sorted;
+      Array.sort Float.compare sorted;
       T.add_row table
         (sch.Scheme.name
         :: List.map (fun s -> Printf.sprintf "%.3f" (Stats.cdf_at sorted s)) thresholds))
@@ -457,7 +457,11 @@ let f3 () =
         (Apsp.distance apsp s d, m.Simulator.stretch))
       pairs
   in
-  Array.sort compare samples;
+  Array.sort
+    (fun (d1, s1) (d2, s2) ->
+      let c = Float.compare d1 d2 in
+      if c <> 0 then c else Float.compare s1 s2)
+    samples;
   let deciles = 10 in
   let per = Array.length samples / deciles in
   let table =

@@ -14,6 +14,11 @@
      serve       closed-loop load generator over the batch query
                  engine: routes/sec, latency percentiles, cache
                  hit rates per scheme, plus JSON lines
+     trace       route one message with the trace sink attached and
+                 print the hop-by-hop event narration (phase entered,
+                 tree-search steps, delivery), as a table or JSON lines
+     build       construct a scheme and report per-stage build
+                 profiling (seconds and table bits per stage)
 *)
 
 module Rng = Cr_util.Rng
@@ -467,7 +472,154 @@ let serve_cmd =
       const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ schemes_arg
       $ queries_arg $ dist_arg $ domains_arg $ cache_arg $ json_arg)
 
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let module Trace = Cr_obs.Trace in
+  let src = Arg.(value & opt int 0 & info [ "src" ] ~docv:"S" ~doc:"Source node index.") in
+  let dst = Arg.(value & opt int 1 & info [ "dst" ] ~docv:"D" ~doc:"Destination node index.") in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write one strict-JSON event per line to FILE (\"-\" for stdout) instead of the table.")
+  in
+  let run seed k workload graph_file aspect scheme src dst json =
+    let g = load_graph ~seed ~graph_file ~workload ~aspect in
+    let n = Graph.n g in
+    if src < 0 || src >= n || dst < 0 || dst >= n then (
+      Printf.eprintf "crt: --src/--dst must be in [0, %d)\n" n;
+      exit 1);
+    let apsp = Apsp.compute g in
+    let sch = build_scheme apsp ~k ~seed scheme in
+    let events = ref [] in
+    let r = sch.Scheme.route ~trace:(fun ev -> events := ev :: !events) src dst in
+    let events = List.rev !events in
+    let cost, hops = Simulator.walk_cost g r.Scheme.walk in
+    let shortest = Apsp.distance apsp src dst in
+    let stretch =
+      if not r.Scheme.delivered then infinity
+      else if src = dst || shortest = 0.0 then 1.0
+      else cost /. shortest
+    in
+    match json with
+    | Some path ->
+        let summary =
+          Cr_util.Jsonl.obj
+            [
+              ("event", Cr_util.Jsonl.str "summary");
+              ("scheme", Cr_util.Jsonl.str sch.Scheme.name);
+              ("src", Cr_util.Jsonl.int src);
+              ("dst", Cr_util.Jsonl.int dst);
+              ("delivered", Cr_util.Jsonl.bool r.Scheme.delivered);
+              ("phases_used", Cr_util.Jsonl.int r.Scheme.phases_used);
+              ("cost", Cr_util.Jsonl.float cost);
+              ("hops", Cr_util.Jsonl.int hops);
+              ("shortest", Cr_util.Jsonl.float shortest);
+              ("stretch", Cr_util.Jsonl.float stretch);
+            ]
+        in
+        let lines = List.map Trace.event_to_json events @ [ summary ] in
+        if path = "-" then List.iter print_endline lines
+        else begin
+          Cr_util.Jsonl.write_lines lines path;
+          Printf.printf "json written to %s\n" path
+        end
+    | None ->
+        Printf.printf "%s: %d -> %d (identifier %d)\n" sch.Scheme.name src dst
+          (Graph.name_of g dst);
+        Printf.printf "delivered %b, phases %d, cost %.4g, hops %d, shortest %.4g, stretch %.3f\n"
+          r.Scheme.delivered r.Scheme.phases_used cost hops shortest stretch;
+        let table =
+          T.create
+            ~title:(Printf.sprintf "trace of %s, %d -> %d" sch.Scheme.name src dst)
+            [ ("#", T.Right); ("phase", T.Right); ("event", T.Left); ("annotation", T.Left) ]
+        in
+        List.iteri
+          (fun i ev ->
+            T.add_row table
+              [
+                string_of_int (i + 1);
+                (match Trace.phase_of ev with Some p -> string_of_int p | None -> "-");
+                Trace.label ev;
+                Trace.event_to_string ev;
+              ])
+          events;
+        T.print table;
+        if hops <= 64 then
+          Printf.printf "walk: %s\n" (String.concat " -> " (List.map string_of_int r.Scheme.walk))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Route one message with the trace sink attached and print the event narration.")
+    Term.(
+      const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ scheme_arg $ src
+      $ dst $ json_arg)
+
+(* ---------- build ---------- *)
+
+let build_cmd =
+  let module Profile = Cr_obs.Profile in
+  let profile_arg =
+    Arg.(value & flag & info [ "profile" ] ~doc:"Report per-stage build profiling (seconds and bits).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the build summary (and stage profile) as one strict-JSON line to FILE (\"-\" for stdout).")
+  in
+  let run seed k workload graph_file aspect scheme profile json =
+    let g = load_graph ~seed ~graph_file ~workload ~aspect in
+    let p = Profile.create () in
+    let apsp = Profile.time p "apsp" (fun () -> Apsp.compute_parallel g) in
+    (* agm06 charges its own stages; other schemes get one "scheme" stage
+       (nesting both would double-count the total) *)
+    let sch =
+      match scheme with
+      | "agm06" -> Agm06.scheme (Agm06.build ~params:(Params.scaled ~k ~seed ()) ~profile:p apsp)
+      | "agm06-paper" ->
+          Agm06.scheme (Agm06.build ~params:(Params.paper ~k ~seed ()) ~profile:p apsp)
+      | name -> Profile.time p "scheme" (fun () -> build_scheme apsp ~k ~seed name)
+    in
+    let storage = sch.Scheme.storage in
+    Printf.printf "%s over %s: n=%d m=%d\n" sch.Scheme.name
+      (match graph_file with Some path -> path | None -> Experiment.workload_name workload)
+      (Graph.n g) (Graph.m g);
+    Printf.printf "table bits: max %s, mean %s, total %s; header %d bits\n"
+      (T.fmt_bits (Storage.max_node_bits storage))
+      (T.fmt_bits (int_of_float (Storage.mean_node_bits storage)))
+      (T.fmt_bits (Storage.total_bits storage))
+      sch.Scheme.header_bits;
+    if profile then print_string (Profile.report ~title:"build stages" p);
+    match json with
+    | None -> ()
+    | Some path ->
+        let line =
+          Cr_util.Jsonl.obj
+            [
+              ("scheme", Cr_util.Jsonl.str sch.Scheme.name);
+              ("n", Cr_util.Jsonl.int (Graph.n g));
+              ("m", Cr_util.Jsonl.int (Graph.m g));
+              ("bits_max", Cr_util.Jsonl.int (Storage.max_node_bits storage));
+              ("bits_mean", Cr_util.Jsonl.float (Storage.mean_node_bits storage));
+              ("bits_total", Cr_util.Jsonl.int (Storage.total_bits storage));
+              ("header_bits", Cr_util.Jsonl.int sch.Scheme.header_bits);
+              ("profile", Profile.to_json p);
+            ]
+        in
+        if path = "-" then print_endline line
+        else begin
+          Cr_util.Jsonl.write_lines [ line ] path;
+          Printf.printf "json written to %s\n" path
+        end
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:"Construct a scheme and report its table sizes, with optional per-stage profiling.")
+    Term.(
+      const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ scheme_arg
+      $ profile_arg $ json_arg)
+
 let () =
   let doc = "compact-routing toolbox: the AGM'06 scale-free name-independent scheme and its comparators" in
-  let main = Cmd.group (Cmd.info "crt" ~doc) [ generate_cmd; info_cmd; decompose_cmd; covers_cmd; route_cmd; eval_cmd; tables_cmd; resilience_cmd; serve_cmd ] in
+  let main = Cmd.group (Cmd.info "crt" ~doc) [ generate_cmd; info_cmd; decompose_cmd; covers_cmd; route_cmd; eval_cmd; tables_cmd; resilience_cmd; serve_cmd; trace_cmd; build_cmd ] in
   exit (Cmd.eval main)

@@ -62,9 +62,14 @@ let search_walk_append walk_rev = function
   | [] -> walk_rev
   | _first :: rest -> List.rev_append rest walk_rev
 
-let build ?params ?(mode = Full) apsp =
+let build ?params ?(mode = Full) ?profile apsp =
   let params = match params with Some p -> p | None -> Params.scaled ~k:3 () in
   Params.validate params;
+  (* [prof stage f] times the stage when a profile was supplied; without
+     one it is [f ()] — construction work is identical either way. *)
+  let prof stage f =
+    match profile with None -> f () | Some p -> Cr_obs.Profile.time p stage f
+  in
   let g = Apsp.graph apsp in
   let n = Graph.n g in
   if n < 1 then invalid_arg "Agm06.build: empty graph";
@@ -72,27 +77,30 @@ let build ?params ?(mode = Full) apsp =
     invalid_arg "Agm06.build: graph must be normalized (min edge weight 1)";
   let k = params.Params.k in
   let seed = params.Params.seed in
-  let decomp = Decomposition.build apsp ~k in
-  let landmarks = Landmarks.build ~seed ~n ~k in
+  let decomp = prof "decomposition" (fun () -> Decomposition.build apsp ~k) in
+  let landmarks = prof "landmark-hierarchy" (fun () -> Landmarks.build ~seed ~n ~k) in
   let cap = Params.landmark_cap params ~n in
   let storage = Storage.create ~n in
   let idb = Bits.id_bits ~n in
   (* ---- nearby landmark sets S(u,i) and their inversion ---- *)
   let s_sets = Array.make n [||] in
-  for u = 0 to n - 1 do
-    let ball = Apsp.ball apsp u in
-    let tbl = Hashtbl.create (k * cap) in
-    for i = 0 to k - 1 do
-      Array.iter (fun v -> Hashtbl.replace tbl v ()) (Landmarks.nearby landmarks ball ~level:i ~cap)
-    done;
-    let arr = Array.of_seq (Hashtbl.to_seq_keys tbl) in
-    Array.sort compare arr;
-    s_sets.(u) <- arr
-  done;
   let members_of = Array.make n [] in
-  for u = n - 1 downto 0 do
-    Array.iter (fun v -> members_of.(v) <- u :: members_of.(v)) s_sets.(u)
-  done;
+  prof "nearby-sets" (fun () ->
+      for u = 0 to n - 1 do
+        let ball = Apsp.ball apsp u in
+        let tbl = Hashtbl.create (k * cap) in
+        for i = 0 to k - 1 do
+          Array.iter
+            (fun v -> Hashtbl.replace tbl v ())
+            (Landmarks.nearby landmarks ball ~level:i ~cap)
+        done;
+        let arr = Array.of_seq (Hashtbl.to_seq_keys tbl) in
+        Array.sort Int.compare arr;
+        s_sets.(u) <- arr
+      done;
+      for u = n - 1 downto 0 do
+        Array.iter (fun v -> members_of.(v) <- u :: members_of.(v)) s_sets.(u)
+      done);
   (* ---- global fallback root: closest-to-everything top-rank landmark ---- *)
   let top_rank = ref 0 in
   for v = 0 to n - 1 do
@@ -153,49 +161,56 @@ let build ?params ?(mode = Full) apsp =
     ni
   in
   (* The global tree spans everything and is accounted under "fallback". *)
-  let global_ni = build_center_tree global_root ~keep_all:true ~category:"fallback" in
-  (* Every node v held in someone's S(u) gets a tree T(v); its storage is
-     charged to its members.  Trees of centers actually used for routing
-     are retained. *)
-  for v = 0 to n - 1 do
-    if v <> global_root && members_of.(v) <> [] then begin
-      let ni = build_center_tree v ~keep_all:false ~category:"sparse-trees" in
-      if Hashtbl.mem sparse_centers v then Hashtbl.replace centers v ni
-    end
-  done;
-  Hashtbl.replace centers global_root global_ni;
-  (* ---- refine sparse bounds b(u,i) now that trees exist ---- *)
-  for u = 0 to n - 1 do
-    Array.iteri
-      (fun i plan ->
-        match plan with
-        | Sparse { center; _ } ->
-            let ni = Hashtbl.find centers center in
-            let b = Ni.guaranteed_bound ni (Decomposition.e_set decomp u i) in
-            plans.(u).(i) <- Sparse { center; bound = b }
-        | Dense_phase _ -> ())
-      plans.(u)
-  done;
+  let global_ni =
+    prof "sparse-trees" (fun () ->
+        let global_ni = build_center_tree global_root ~keep_all:true ~category:"fallback" in
+        (* Every node v held in someone's S(u) gets a tree T(v); its storage
+           is charged to its members.  Trees of centers actually used for
+           routing are retained. *)
+        for v = 0 to n - 1 do
+          if v <> global_root && members_of.(v) <> [] then begin
+            let ni = build_center_tree v ~keep_all:false ~category:"sparse-trees" in
+            if Hashtbl.mem sparse_centers v then Hashtbl.replace centers v ni
+          end
+        done;
+        Hashtbl.replace centers global_root global_ni;
+        (* ---- refine sparse bounds b(u,i) now that trees exist ---- *)
+        for u = 0 to n - 1 do
+          Array.iteri
+            (fun i plan ->
+              match plan with
+              | Sparse { center; _ } ->
+                  let ni = Hashtbl.find centers center in
+                  let b = Ni.guaranteed_bound ni (Decomposition.e_set decomp u i) in
+                  plans.(u).(i) <- Sparse { center; bound = b }
+              | Dense_phase _ -> ())
+            plans.(u)
+        done;
+        global_ni)
+  in
   (* ---- covers for every populated level (paper §3.5 stores all) ---- *)
   let covers =
-    List.map
-      (fun level ->
-        let allowed u = Decomposition.in_level_graph decomp u level in
-        let rho = Decomposition.radius_of_exponent level in
-        let cover = Cover.build ~allowed ~k ~rho g in
-        let dense_rts =
-          Array.map (fun (c : Cover.cluster) -> Dense.build c.Cover.tree) (Cover.clusters cover)
-        in
-        Array.iter
-          (fun (rt : Dense.t) ->
+    prof "dense-covers" (fun () ->
+        List.map
+          (fun level ->
+            let allowed u = Decomposition.in_level_graph decomp u level in
+            let rho = Decomposition.radius_of_exponent level in
+            let cover = Cover.build ~allowed ~k ~rho g in
+            let dense_rts =
+              Array.map
+                (fun (c : Cover.cluster) -> Dense.build c.Cover.tree)
+                (Cover.clusters cover)
+            in
             Array.iter
-              (fun w ->
-                Storage.add storage ~node:w ~category:"dense-covers"
-                  ~bits:(Dense.node_storage_bits rt w))
-              (Tree.nodes (Dense.tree rt)))
-          dense_rts;
-        (level, cover, dense_rts))
-      (Decomposition.needed_levels decomp)
+              (fun (rt : Dense.t) ->
+                Array.iter
+                  (fun w ->
+                    Storage.add storage ~node:w ~category:"dense-covers"
+                      ~bits:(Dense.node_storage_bits rt w))
+                  (Tree.nodes (Dense.tree rt)))
+              dense_rts;
+            (level, cover, dense_rts))
+          (Decomposition.needed_levels decomp))
   in
   let cover_at level = List.find (fun (l, _, _) -> l = level) covers in
   (* fill in dense cluster assignments *)
@@ -210,19 +225,36 @@ let build ?params ?(mode = Full) apsp =
       plans.(u)
   done;
   (* ---- local records: ranges, per-phase center/bound/root ids ---- *)
-  for u = 0 to n - 1 do
-    Storage.add storage ~node:u ~category:"local" ~bits:((k + 1) * Bits.range_bits);
-    Array.iter
-      (fun plan ->
-        let bits =
-          match plan with
-          | Sparse _ -> idb + Bits.level_bits ~k
-          | Dense_phase _ -> idb
-        in
-        Storage.add storage ~node:u ~category:"local" ~bits)
-      plans.(u);
-    Storage.add storage ~node:u ~category:"local" ~bits:idb (* global root id *)
-  done;
+  prof "local-records" (fun () ->
+      for u = 0 to n - 1 do
+        Storage.add storage ~node:u ~category:"local" ~bits:((k + 1) * Bits.range_bits);
+        Array.iter
+          (fun plan ->
+            let bits =
+              match plan with
+              | Sparse _ -> idb + Bits.level_bits ~k
+              | Dense_phase _ -> idb
+            in
+            Storage.add storage ~node:u ~category:"local" ~bits)
+          plans.(u);
+        Storage.add storage ~node:u ~category:"local" ~bits:idb (* global root id *)
+      done);
+  (* Attribute the built bits to the stages that produced them, so the
+     profile reports bits-and-seconds per stage. *)
+  (match profile with
+  | None -> ()
+  | Some p ->
+      List.iter
+        (fun (category, bits) ->
+          let stage =
+            match category with
+            | "sparse-trees" | "fallback" -> "sparse-trees"
+            | "dense-covers" -> "dense-covers"
+            | "local" -> "local-records"
+            | other -> other
+          in
+          Cr_obs.Profile.add_bits p stage bits)
+        (Storage.categories storage));
   let counters =
     {
       routes_c = Atomic.make 0;
@@ -233,11 +265,30 @@ let build ?params ?(mode = Full) apsp =
     }
   in
   (* ---- the routing procedure ---- *)
-  let route src dst =
+  (* The [trace] sink is pure annotation: every emission sits behind a
+     [match trace with None -> ()] so the disabled path costs one branch
+     and allocates nothing, and no event changes the walk (the
+     determinism contract of DESIGN.md §7). *)
+  let route ?trace src dst =
     let ident = Graph.name_of g dst in
+    (* tree hops between a and b, recomputed only when tracing *)
+    let climb_hops tree a b =
+      match Tree.path tree a b with [] -> 0 | p -> List.length p - 1
+    in
+    let emit_climb phase tree a b =
+      match trace with
+      | None -> ()
+      | Some f ->
+          if a <> b then
+            f (Cr_obs.Trace.Climb
+                 { phase; from_node = a; to_node = b; hops = climb_hops tree a b })
+    in
     Atomic.incr counters.routes_c;
     if src = dst then begin
       Atomic.incr counters.delivered_c;
+      (match trace with
+      | None -> ()
+      | Some f -> f (Cr_obs.Trace.Deliver { phase = 0; node = dst }));
       { Scheme.walk = [ src ]; delivered = true; phases_used = 0 }
     end
     else begin
@@ -248,23 +299,42 @@ let build ?params ?(mode = Full) apsp =
           if is_global then Atomic.incr counters.fallback_c
         end
         else Atomic.incr counters.failed_c;
+        (match trace with
+        | None -> ()
+        | Some f ->
+            if found then f (Cr_obs.Trace.Deliver { phase; node = dst })
+            else f (Cr_obs.Trace.No_route { phase }));
         { Scheme.walk = List.rev walk_rev; delivered = found; phases_used = phase }
+      in
+      let emit_result phase found rounds =
+        match trace with
+        | None -> ()
+        | Some f -> f (Cr_obs.Trace.Phase_result { phase; found; rounds })
       in
       let rec phase_loop i walk_rev =
         if i > k - 1 then global_phase walk_rev
         else begin
           match plans.(src).(i) with
           | Sparse { center; bound } -> (
+              (match trace with
+              | None -> ()
+              | Some f ->
+                  f (Cr_obs.Trace.Phase_start
+                       { phase = i + 1; kind = Cr_obs.Trace.Sparse; center; bound }));
               let ni = Hashtbl.find centers center in
               let tree = Ni.tree ni in
+              emit_climb (i + 1) tree src center;
               let walk_rev = tree_path_append tree walk_rev src center in
-              let r = Ni.search ni ~bound ident in
+              let r = Ni.search ?trace ni ~bound ident in
               match r.Ni.outcome with
               | Ni.Found x ->
                   ignore x;
+                  emit_result (i + 1) true r.Ni.rounds;
                   finish (search_walk_append walk_rev r.Ni.walk) (i + 1) true
               | Ni.Not_found_reported ->
+                  emit_result (i + 1) false r.Ni.rounds;
                   let walk_rev = search_walk_append walk_rev r.Ni.walk in
+                  emit_climb (i + 1) tree center src;
                   let walk_rev = tree_path_append tree walk_rev center src in
                   phase_loop (i + 1) walk_rev)
           | Dense_phase { level; cluster } -> (
@@ -273,23 +343,43 @@ let build ?params ?(mode = Full) apsp =
               let rt = dense_rts.(cluster) in
               let tree = cl.Cover.tree in
               let root = cl.Cover.center in
+              (match trace with
+              | None -> ()
+              | Some f ->
+                  f (Cr_obs.Trace.Phase_start
+                       { phase = i + 1; kind = Cr_obs.Trace.Dense; center = root; bound = level }));
+              emit_climb (i + 1) tree src root;
               let walk_rev = tree_path_append tree walk_rev src root in
-              let r = Dense.search rt ident in
+              let r = Dense.search ?trace rt ident in
               match r.Dense.outcome with
-              | Dense.Found _ -> finish (search_walk_append walk_rev r.Dense.walk) (i + 1) true
+              | Dense.Found _ ->
+                  emit_result (i + 1) true 1;
+                  finish (search_walk_append walk_rev r.Dense.walk) (i + 1) true
               | Dense.Not_found_reported ->
+                  emit_result (i + 1) false 1;
                   let walk_rev = search_walk_append walk_rev r.Dense.walk in
+                  emit_climb (i + 1) tree root src;
                   let walk_rev = tree_path_append tree walk_rev root src in
                   phase_loop (i + 1) walk_rev)
         end
       and global_phase walk_rev =
+        (match trace with
+        | None -> ()
+        | Some f ->
+            f (Cr_obs.Trace.Phase_start
+                 { phase = k + 1; kind = Cr_obs.Trace.Global; center = global_root; bound = k }));
         let tree = Ni.tree global_ni in
+        emit_climb (k + 1) tree src global_root;
         let walk_rev = tree_path_append tree walk_rev src global_root in
-        let r = Ni.search global_ni ~bound:k ident in
+        let r = Ni.search ?trace global_ni ~bound:k ident in
         match r.Ni.outcome with
-        | Ni.Found _ -> finish ~is_global:true (search_walk_append walk_rev r.Ni.walk) (k + 1) true
+        | Ni.Found _ ->
+            emit_result (k + 1) true r.Ni.rounds;
+            finish ~is_global:true (search_walk_append walk_rev r.Ni.walk) (k + 1) true
         | Ni.Not_found_reported ->
+            emit_result (k + 1) false r.Ni.rounds;
             let walk_rev = search_walk_append walk_rev r.Ni.walk in
+            emit_climb (k + 1) tree global_root src;
             let walk_rev = tree_path_append tree walk_rev global_root src in
             finish ~is_global:true walk_rev (k + 1) false
       in

@@ -28,10 +28,13 @@ type mode =
   | Sparse_only  (** ablation: every level handled by the sparse strategy *)
   | Dense_only  (** ablation: every level handled by the dense strategy *)
 
-val build : ?params:Params.t -> ?mode:mode -> Cr_graph.Apsp.t -> t
+val build : ?params:Params.t -> ?mode:mode -> ?profile:Cr_obs.Profile.t -> Cr_graph.Apsp.t -> t
 (** Builds the scheme over a connected component reachable ground truth.
     [params] defaults to [Params.scaled ~k:3].  The graph must be
-    normalized (min edge weight 1).
+    normalized (min edge weight 1).  With [profile], each construction
+    stage (decomposition, landmark-hierarchy, nearby-sets, sparse-trees,
+    dense-covers, local-records) is timed and charged its table bits;
+    the construction itself is unchanged.
     @raise Invalid_argument otherwise. *)
 
 val scheme : t -> Scheme.t

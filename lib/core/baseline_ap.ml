@@ -38,12 +38,19 @@ let build ?(k = 3) apsp =
         done;
         (cover, rts))
   in
-  let route src dst =
-    if src = dst then { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
+  let route ?trace src dst =
+    let emit ev = match trace with None -> () | Some f -> f ev in
+    if src = dst then begin
+      emit (Cr_obs.Trace.Deliver { phase = 0; node = dst });
+      { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
+    end
     else begin
       let ident = Graph.name_of g dst in
       let rec scale i walk_rev =
-        if i > log_delta then { Scheme.walk = List.rev walk_rev; delivered = false; phases_used = i }
+        if i > log_delta then begin
+          emit (Cr_obs.Trace.No_route { phase = i });
+          { Scheme.walk = List.rev walk_rev; delivered = false; phases_used = i }
+        end
         else begin
           let cover, rts = levels.(i) in
           let ci = Cover.home cover src in
@@ -51,19 +58,35 @@ let build ?(k = 3) apsp =
           let rt = rts.(ci) in
           let tree = cl.Cover.tree in
           let root = cl.Cover.center in
+          (match trace with
+          | None -> ()
+          | Some f ->
+              f (Cr_obs.Trace.Phase_start
+                   { phase = i + 1; kind = Cr_obs.Trace.Dense; center = root; bound = i });
+              if src <> root then
+                f (Cr_obs.Trace.Climb
+                     {
+                       phase = i + 1;
+                       from_node = src;
+                       to_node = root;
+                       hops = (match Tree.path tree src root with [] -> 0 | p -> List.length p - 1);
+                     }));
           let walk_rev =
             match Tree.path tree src root with
             | [] -> walk_rev
             | _ :: rest -> List.rev_append rest walk_rev
           in
-          let r = Dense.search rt ident in
+          let r = Dense.search ?trace rt ident in
           let walk_rev =
             match r.Dense.walk with [] -> walk_rev | _ :: rest -> List.rev_append rest walk_rev
           in
           match r.Dense.outcome with
           | Dense.Found _ ->
+              emit (Cr_obs.Trace.Phase_result { phase = i + 1; found = true; rounds = 1 });
+              emit (Cr_obs.Trace.Deliver { phase = i + 1; node = dst });
               { Scheme.walk = List.rev walk_rev; delivered = true; phases_used = i + 1 }
           | Dense.Not_found_reported ->
+              emit (Cr_obs.Trace.Phase_result { phase = i + 1; found = false; rounds = 1 });
               let walk_rev =
                 match Tree.path tree root src with
                 | [] -> walk_rev

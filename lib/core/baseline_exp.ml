@@ -95,21 +95,36 @@ let build ?(k = 3) ?(seed = 77) apsp =
           ~bits:((2 * idb) + (hops * Bits.port_bits ~degree:(max 1 (Graph.max_degree g)))))
       owned.(o)
   done;
-  let route src dst =
-    if src = dst then { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
-    else if Apsp.distance apsp src dst = infinity then
+  let route ?trace src dst =
+    let emit ev = match trace with None -> () | Some f -> f ev in
+    if src = dst then begin
+      emit (Cr_obs.Trace.Deliver { phase = 0; node = dst });
+      { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
+    end
+    else if Apsp.distance apsp src dst = infinity then begin
+      emit (Cr_obs.Trace.No_route { phase = 1 });
       { Scheme.walk = [ src ]; delivered = false; phases_used = 1 }
+    end
     else begin
       let y = Digit_hash.hash hash (ident dst) in
+      (match trace with
+      | None -> ()
+      | Some f ->
+          f (Cr_obs.Trace.Phase_start
+               { phase = 1; kind = Cr_obs.Trace.Vicinity; center = src; bound = k }));
       let rec resolve current walk_rev j =
         (* vicinity check at every visited directory node *)
         if Hashtbl.mem in_vicinity.(current) dst then begin
+          emit (Cr_obs.Trace.Phase_result { phase = j; found = true; rounds = j });
+          emit (Cr_obs.Trace.Deliver { phase = j; node = dst });
           let tail = match shortest_path apsp current dst with [] -> [] | _ :: r -> r in
           { Scheme.walk = List.rev (List.rev_append tail walk_rev); delivered = true; phases_used = j }
         end
         else if j > k then begin
           (* current owns the full hash: final source-routed hop *)
           if List.mem dst owned.(current) || current = dst then begin
+            emit (Cr_obs.Trace.Tree_step { round = j; from_node = current; to_node = dst });
+            emit (Cr_obs.Trace.Deliver { phase = k + 1; node = dst });
             let tail = match shortest_path apsp current dst with [] -> [] | _ :: r -> r in
             {
               Scheme.walk = List.rev (List.rev_append tail walk_rev);
@@ -117,12 +132,18 @@ let build ?(k = 3) ?(seed = 77) apsp =
               phases_used = k + 1;
             }
           end
-          else { Scheme.walk = List.rev walk_rev; delivered = false; phases_used = k + 1 }
+          else begin
+            emit (Cr_obs.Trace.No_route { phase = k + 1 });
+            { Scheme.walk = List.rev walk_rev; delivered = false; phases_used = k + 1 }
+          end
         end
         else begin
           match next.(current).(j - 1).(y.(j - 1)) with
-          | -1 -> { Scheme.walk = List.rev walk_rev; delivered = false; phases_used = j }
+          | -1 ->
+              emit (Cr_obs.Trace.No_route { phase = j });
+              { Scheme.walk = List.rev walk_rev; delivered = false; phases_used = j }
           | nxt ->
+              emit (Cr_obs.Trace.Tree_step { round = j; from_node = current; to_node = nxt });
               let tail = match shortest_path apsp current nxt with [] -> [] | _ :: r -> r in
               resolve nxt (List.rev_append tail walk_rev) (j + 1)
         end

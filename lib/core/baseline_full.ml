@@ -14,15 +14,27 @@ let build apsp =
     Storage.add storage ~node:u ~category:"full-tables"
       ~bits:((n - 1) * ((2 * idb) + pb))
   done;
-  let route src dst =
-    if src = dst then { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
+  let route ?trace src dst =
+    let emit ev = match trace with None -> () | Some f -> f ev in
+    if src = dst then begin
+      emit (Cr_obs.Trace.Deliver { phase = 0; node = dst });
+      { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
+    end
     else begin
+      (match trace with
+      | None -> ()
+      | Some f ->
+          f (Cr_obs.Trace.Phase_start
+               { phase = 1; kind = Cr_obs.Trace.Direct; center = src; bound = 0 }));
       let res = Apsp.sssp apsp dst in
-      if res.Dijkstra.dist.(src) = infinity then
+      if res.Dijkstra.dist.(src) = infinity then begin
+        emit (Cr_obs.Trace.No_route { phase = 1 });
         { Scheme.walk = [ src ]; delivered = false; phases_used = 1 }
+      end
       else begin
         (* walk the reverse of the dst-rooted shortest path tree *)
         let walk = List.rev (Dijkstra.path_to res src) in
+        emit (Cr_obs.Trace.Deliver { phase = 1; node = dst });
         { Scheme.walk; delivered = true; phases_used = 1 }
       end
     end

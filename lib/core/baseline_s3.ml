@@ -121,37 +121,76 @@ let build ?(seed = 5) apsp =
     Storage.add storage ~node:u ~category:"s3-color-pointers" ~bits:ptr_bits
   done;
   (* ---- routing ---- *)
-  let route src dst =
-    if src = dst then { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
-    else if Apsp.distance apsp src dst = infinity then
+  let route ?trace src dst =
+    let emit ev = match trace with None -> () | Some f -> f ev in
+    if src = dst then begin
+      emit (Cr_obs.Trace.Deliver { phase = 0; node = dst });
+      { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
+    end
+    else if Apsp.distance apsp src dst = infinity then begin
+      emit (Cr_obs.Trace.No_route { phase = 1 });
       { Scheme.walk = [ src ]; delivered = false; phases_used = 1 }
-    else if Hashtbl.mem in_vicinity.(src) dst then
-      { Scheme.walk = shortest_path apsp src dst; delivered = true; phases_used = 1 }
+    end
     else begin
-      let c = color dst in
-      (* nearest color-c node: in vicinity, else the stored pointer *)
-      let w =
-        let ball = Apsp.ball apsp src in
-        let found =
-          Ball.closest_in ball 1 (fun x ->
-              color x = c && (Hashtbl.mem in_vicinity.(src) x || color_pointer.(src).(c) = x))
-        in
-        if Array.length found > 0 then found.(0) else color_pointer.(src).(c)
-      in
-      if w < 0 then { Scheme.walk = [ src ]; delivered = false; phases_used = 2 }
+      (match trace with
+      | None -> ()
+      | Some f ->
+          f (Cr_obs.Trace.Phase_start
+               { phase = 1; kind = Cr_obs.Trace.Vicinity; center = src; bound = 0 }));
+      if Hashtbl.mem in_vicinity.(src) dst then begin
+        emit (Cr_obs.Trace.Phase_result { phase = 1; found = true; rounds = 1 });
+        emit (Cr_obs.Trace.Deliver { phase = 1; node = dst });
+        { Scheme.walk = shortest_path apsp src dst; delivered = true; phases_used = 1 }
+      end
       else begin
-        let up = shortest_path apsp src w in
-        match Hashtbl.find_opt dict.(w) (ident dst) with
-        | None ->
-            (* same-color node exists but dst unknown: cannot happen for
-               existing identifiers; report failure by returning *)
-            let back = match shortest_path apsp w src with [] -> [] | _ :: r -> r in
-            { Scheme.walk = up @ back; delivered = false; phases_used = 2 }
-        | Some v ->
-            let l = closest_landmark.(v) in
-            let tree, _ = Hashtbl.find trees l in
-            let tail = match Tree.path tree w v with [] -> [] | _ :: r -> r in
-            { Scheme.walk = up @ tail; delivered = true; phases_used = 2 }
+        emit (Cr_obs.Trace.Phase_result { phase = 1; found = false; rounds = 1 });
+        let c = color dst in
+        (* nearest color-c node: in vicinity, else the stored pointer *)
+        let w =
+          let ball = Apsp.ball apsp src in
+          let found =
+            Ball.closest_in ball 1 (fun x ->
+                color x = c && (Hashtbl.mem in_vicinity.(src) x || color_pointer.(src).(c) = x))
+          in
+          if Array.length found > 0 then found.(0) else color_pointer.(src).(c)
+        in
+        if w < 0 then begin
+          emit (Cr_obs.Trace.No_route { phase = 2 });
+          { Scheme.walk = [ src ]; delivered = false; phases_used = 2 }
+        end
+        else begin
+          (match trace with
+          | None -> ()
+          | Some f ->
+              f (Cr_obs.Trace.Phase_start
+                   { phase = 2; kind = Cr_obs.Trace.Color; center = w; bound = c }));
+          let up = shortest_path apsp src w in
+          (match trace with
+          | None -> ()
+          | Some f ->
+              if src <> w then
+                f (Cr_obs.Trace.Climb
+                     { phase = 2; from_node = src; to_node = w; hops = List.length up - 1 }));
+          match Hashtbl.find_opt dict.(w) (ident dst) with
+          | None ->
+              (* same-color node exists but dst unknown: cannot happen for
+                 existing identifiers; report failure by returning *)
+              emit (Cr_obs.Trace.Phase_result { phase = 2; found = false; rounds = 1 });
+              emit (Cr_obs.Trace.No_route { phase = 2 });
+              let back = match shortest_path apsp w src with [] -> [] | _ :: r -> r in
+              { Scheme.walk = up @ back; delivered = false; phases_used = 2 }
+          | Some v ->
+              let l = closest_landmark.(v) in
+              let tree, _ = Hashtbl.find trees l in
+              (match trace with
+              | None -> ()
+              | Some f ->
+                  f (Cr_obs.Trace.Tree_step { round = 1; from_node = w; to_node = v }));
+              emit (Cr_obs.Trace.Phase_result { phase = 2; found = true; rounds = 1 });
+              emit (Cr_obs.Trace.Deliver { phase = 2; node = dst });
+              let tail = match Tree.path tree w v with [] -> [] | _ :: r -> r in
+              { Scheme.walk = up @ tail; delivered = true; phases_used = 2 }
+        end
       end
     end
   in

@@ -82,28 +82,59 @@ let build ?(k = 3) ?(seed = 99) apsp =
        tree the node participates in; approximated by one entry per level *)
     Storage.add storage ~node:u ~category:"tz-trees" ~bits:(k * (idb + pb))
   done;
-  let route src dst =
-    if src = dst then { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
-    else if Apsp.distance apsp src dst = infinity then
+  let route ?trace src dst =
+    let emit ev = match trace with None -> () | Some f -> f ev in
+    if src = dst then begin
+      emit (Cr_obs.Trace.Deliver { phase = 0; node = dst });
+      { Scheme.walk = [ src ]; delivered = true; phases_used = 1 }
+    end
+    else if Apsp.distance apsp src dst = infinity then begin
+      emit (Cr_obs.Trace.No_route { phase = 1 });
       { Scheme.walk = [ src ]; delivered = false; phases_used = 1 }
+    end
     else begin
       (* label of dst = (dst, p_1(dst), ..., p_{k-1}(dst)) *)
-      if Hashtbl.mem in_bunch.(src) dst then
+      (match trace with
+      | None -> ()
+      | Some f ->
+          f (Cr_obs.Trace.Phase_start
+               { phase = 1; kind = Cr_obs.Trace.Vicinity; center = src; bound = 0 }));
+      if Hashtbl.mem in_bunch.(src) dst then begin
+        emit (Cr_obs.Trace.Phase_result { phase = 1; found = true; rounds = 1 });
+        emit (Cr_obs.Trace.Deliver { phase = 1; node = dst });
         { Scheme.walk = shortest_path apsp src dst; delivered = true; phases_used = 1 }
+      end
       else begin
+        emit (Cr_obs.Trace.Phase_result { phase = 1; found = false; rounds = 1 });
         (* smallest j >= 1 with p_j(dst) in B(src); j = k-1 always works *)
         let rec find j =
           if j >= k then None
           else begin
             let w = pivots.(dst).(j) in
-            if w >= 0 && Hashtbl.mem in_bunch.(src) w then Some w else find (j + 1)
+            if w >= 0 && Hashtbl.mem in_bunch.(src) w then Some (j, w) else find (j + 1)
           end
         in
         match find 1 with
-        | None -> { Scheme.walk = [ src ]; delivered = false; phases_used = k }
-        | Some w ->
+        | None ->
+            emit (Cr_obs.Trace.No_route { phase = 2 });
+            { Scheme.walk = [ src ]; delivered = false; phases_used = k }
+        | Some (j, w) ->
+            (match trace with
+            | None -> ()
+            | Some f ->
+                f (Cr_obs.Trace.Phase_start
+                     { phase = 2; kind = Cr_obs.Trace.Pivot; center = w; bound = j }));
             let up = shortest_path apsp src w in
             let down = match shortest_path apsp w dst with [] -> [] | _ :: rest -> rest in
+            (match trace with
+            | None -> ()
+            | Some f ->
+                if src <> w then
+                  f (Cr_obs.Trace.Climb
+                       { phase = 2; from_node = src; to_node = w; hops = List.length up - 1 });
+                f (Cr_obs.Trace.Tree_step { round = 1; from_node = w; to_node = dst }));
+            emit (Cr_obs.Trace.Phase_result { phase = 2; found = true; rounds = 1 });
+            emit (Cr_obs.Trace.Deliver { phase = 2; node = dst });
             { Scheme.walk = up @ down; delivered = true; phases_used = 2 }
       end
     end

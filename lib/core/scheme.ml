@@ -5,7 +5,7 @@ type t = {
   graph : Cr_graph.Graph.t;
   storage : Storage.t;
   header_bits : int;
-  route : int -> int -> route;
+  route : ?trace:Cr_obs.Trace.sink -> int -> int -> route;
 }
 
 let default_header_bits ~n = (2 * Cr_util.Bits.id_bits ~n) + 16

@@ -6,7 +6,13 @@
     ([Graph.name_of g dst]) — the index is a simulation convenience.
     The returned walk is validated independently by {!Simulator}: every
     consecutive pair must be a graph edge, the walk must start at [src]
-    and, when [delivered], end at [dst]. *)
+    and, when [delivered], end at [dst].
+
+    [route] optionally takes a {!Cr_obs.Trace.sink}: schemes narrate
+    their phases and tree searches as structured events.  The contract
+    (DESIGN.md §7, tested in test/test_obs.ml): with no sink the call
+    does no observability work, and the returned route is bit-identical
+    with and without a sink. *)
 
 type route = {
   walk : int list;  (** visited node indexes, starting with the source *)
@@ -22,7 +28,7 @@ type t = {
       (** worst-case message-header size: the paper claims Õ(1)-bit
           headers for its scheme (destination identifier, phase counter,
           and the in-flight routing label) *)
-  route : int -> int -> route;
+  route : ?trace:Cr_obs.Trace.sink -> int -> int -> route;
 }
 
 val default_header_bits : n:int -> int

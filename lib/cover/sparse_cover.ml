@@ -130,7 +130,7 @@ let build ?allowed ~k ~rho g =
           end
         done;
         let member_arr = Array.of_list !members in
-        Array.sort compare member_arr;
+        Array.sort Int.compare member_arr;
         let ci = !n_clusters in
         let cover u =
           if not covered.(u) then begin

@@ -35,7 +35,7 @@ let build_center g rt c member_set =
     let acc = ref [] in
     Hashtbl.iter (fun v () -> acc := v :: !acc) member_set;
     let a = Array.of_list !acc in
-    Array.sort compare a;
+    Array.sort Int.compare a;
     a
   in
   ignore rt;
@@ -66,7 +66,7 @@ let build_center g rt c member_set =
     members;
   Hashtbl.replace touched_set c ();
   let touched = Array.of_seq (Hashtbl.to_seq_keys touched_set) in
-  Array.sort compare touched;
+  Array.sort Int.compare touched;
   { fwd; bwd; members; dir; touched }
 
 let build ?(k = 3) ?(seed = 1) ?landmark_cap rt =
@@ -119,7 +119,7 @@ let build ?(k = 3) ?(seed = 1) ?landmark_cap rt =
         (Rt.rt_closest_in rt u cap (fun v -> Landmarks.in_level lm v i))
     done;
     let arr = Array.of_seq (Hashtbl.to_seq_keys tbl) in
-    Array.sort compare arr;
+    Array.sort Int.compare arr;
     s_of.(u) <- arr;
     Array.iter (fun c -> Hashtbl.replace (member_set c) u ()) arr
   done;

@@ -25,6 +25,7 @@ type t = {
   pool : Pool.t;
   cache_capacity : int;
   caches : Sim.measured Lru.t array; (* one per lane; [||] when disabled *)
+  counters : Cr_obs.Counters.t option;
   mutable served : int;
   mutable busy_s : float;
 }
@@ -39,14 +40,14 @@ type metrics = {
   cache_misses : int;
 }
 
-let create ?(cache = 0) ?pool () =
+let create ?(cache = 0) ?counters ?pool () =
   if cache < 0 then invalid_arg "Engine.create: negative cache capacity";
   let pool = match pool with Some p -> p | None -> Pool.shared () in
   let caches =
     if cache = 0 then [||]
     else Array.init (Pool.domains pool) (fun _ -> Lru.create ~capacity:cache)
   in
-  { pool; cache_capacity = cache; caches; served = 0; busy_s = 0.0 }
+  { pool; cache_capacity = cache; caches; counters; served = 0; busy_s = 0.0 }
 
 let pool t = t.pool
 let cache_capacity t = t.cache_capacity
@@ -96,6 +97,20 @@ let run_batch t apsp scheme pairs =
   let hits1, misses1 = cache_stats t in
   t.served <- t.served + nq;
   t.busy_s <- t.busy_s +. wall;
+  (* Aggregate once per batch, from the coordinating thread: the counts
+     are pure functions of the deterministic result array. *)
+  (match t.counters with
+  | None -> ()
+  | Some c ->
+      let delivered = ref 0 in
+      for q = 0 to nq - 1 do
+        if out.(q).Sim.delivered then incr delivered
+      done;
+      Cr_obs.Counters.incr c "engine.batches";
+      Cr_obs.Counters.add c "engine.queries" nq;
+      Cr_obs.Counters.add c "engine.delivered" !delivered;
+      Cr_obs.Counters.add c "engine.cache_hits" (hits1 - hits0);
+      Cr_obs.Counters.add c "engine.cache_misses" (misses1 - misses0));
   let metrics =
     {
       queries = nq;

@@ -34,11 +34,15 @@ type metrics = {
   cache_misses : int;
 }
 
-val create : ?cache:int -> ?pool:Cr_util.Domain_pool.t -> unit -> t
+val create :
+  ?cache:int -> ?counters:Cr_obs.Counters.t -> ?pool:Cr_util.Domain_pool.t -> unit -> t
 (** [create ()] runs on the shared pool with the cache disabled.
     [cache] is the per-lane LRU capacity in entries ([0] disables;
     negative raises [Invalid_argument]).  Caches persist across
-    batches of the same engine. *)
+    batches of the same engine.  With [counters], every batch bumps the
+    [engine.*] aggregates (batches, queries, delivered, cache hits and
+    misses) — once per batch from the coordinating thread, so the counts
+    are as deterministic as the results they summarize. *)
 
 val pool : t -> Cr_util.Domain_pool.t
 

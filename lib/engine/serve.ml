@@ -26,6 +26,7 @@ type report = {
   delivered : int;
   stretch_mean : float;
   stretch_p99 : float;
+  counters : (string * int) list; (* engine.* aggregates, sorted by name *)
 }
 
 let hit_rate r =
@@ -39,7 +40,8 @@ let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ~domains ~seed ~queries ~worklo
     (fun () ->
       let n = Graph.n (Apsp.graph apsp) in
       let pairs = Workload.generate ~pool ~connected_in:apsp dist ~seed ~n ~count:queries in
-      let engine = Engine.create ~cache ~pool () in
+      let counters = Cr_obs.Counters.create () in
+      let engine = Engine.create ~cache ~counters ~pool () in
       let agg, m = Engine.evaluate engine apsp scheme pairs in
       {
         scheme = scheme.Scheme.name;
@@ -56,6 +58,7 @@ let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ~domains ~seed ~queries ~worklo
         delivered = agg.Sim.delivered;
         stretch_mean = agg.Sim.stretch_stats.Stats.mean;
         stretch_p99 = agg.Sim.stretch_stats.Stats.p99;
+        counters = Cr_obs.Counters.snapshot counters;
       })
 
 let report_to_json r =
@@ -78,4 +81,6 @@ let report_to_json r =
       ("delivered", Jsonl.int r.delivered);
       ("stretch_mean", Jsonl.float r.stretch_mean);
       ("stretch_p99", Jsonl.float r.stretch_p99);
+      ( "counters",
+        Jsonl.obj (List.map (fun (name, v) -> (name, Jsonl.int v)) r.counters) );
     ]

@@ -21,6 +21,8 @@ type report = {
   delivered : int;
   stretch_mean : float;
   stretch_p99 : float;
+  counters : (string * int) list;
+      (** the engine's [engine.*] aggregates for this run, sorted by name *)
 }
 
 val hit_rate : report -> float

@@ -51,18 +51,27 @@ let make_sampler dist ~n =
       cdf.(n - 1) <- 1.0;
       { n; cdf = Some cdf }
 
+(* first index with cdf.(i) >= u; cdf.(n-1) is pinned to 1.0 so every
+   u <= 1.0 lands in range *)
+let search_cdf cdf u =
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
 let draw sampler rng =
   match sampler.cdf with
   | None -> Rng.int rng sampler.n
-  | Some cdf ->
-      let u = Rng.float rng 1.0 in
-      (* first index with cdf.(i) >= u *)
-      let lo = ref 0 and hi = ref (sampler.n - 1) in
-      while !lo < !hi do
-        let mid = (!lo + !hi) / 2 in
-        if cdf.(mid) >= u then hi := mid else lo := mid + 1
-      done;
-      !lo
+  | Some cdf -> search_cdf cdf (Rng.float rng 1.0)
+
+let rank_of dist ~n u =
+  if n < 1 then invalid_arg "Workload.rank_of: n < 1";
+  let u = Float.max 0.0 (Float.min u 1.0) in
+  match (make_sampler dist ~n).cdf with
+  | None -> min (n - 1) (int_of_float (u *. float_of_int n))
+  | Some cdf -> search_cdf cdf u
 
 exception Sample_exhausted
 

@@ -19,6 +19,15 @@ val dist_to_string : dist -> string
 val dist_of_string : string -> (dist, string) Stdlib.result
 (** Accepts ["uniform"], ["zipf"] (exponent 1.1) and ["zipf:S"]. *)
 
+val rank_of : dist -> n:int -> float -> int
+(** The inverse CDF behind the sampler: maps a uniform draw
+    [u ∈ \[0, 1\]] (clamped) to a node index.  For [Zipf], the first
+    rank whose cumulative mass reaches [u] — [rank_of d ~n 0.0 = 0]
+    (the hottest node) and [rank_of d ~n 1.0 = n - 1]; for [Uniform],
+    [⌊u·n⌋] capped at [n - 1].  Exposed so tests can pin the boundary
+    behavior without reaching through the RNG.
+    @raise Invalid_argument if [n < 1]. *)
+
 exception Sample_exhausted
 (** A block stream failed to draw a valid pair in 10000 tries — the
     graph is too small or too disconnected for the requested filter. *)

@@ -1,0 +1,28 @@
+(** Named monotonic counters with thread-safe increments.
+
+    One instance can be fed concurrently by every lane of the batch
+    engine: the name table is mutex-guarded, each counter is an
+    [Atomic], and {!snapshot} is consistent per counter (the set of
+    names is read under the lock). *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+
+val add : t -> string -> int -> unit
+
+val get : t -> string -> int
+(** 0 for a never-touched counter. *)
+
+val snapshot : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val to_json : t -> string
+(** One strict-JSON object: [{"name":count,...}], names sorted. *)
+
+val sink : ?prefix:string -> t -> Trace.sink
+(** Aggregating trace sink: each event bumps [prefix ^ Trace.label ev]
+    ([prefix] defaults to ["trace."]).  Combine with a ring buffer via
+    {!Trace.tee} to keep both the tail and the totals. *)

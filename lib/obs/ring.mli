@@ -1,0 +1,28 @@
+(** Bounded ring buffer — the default event sink for long traces.
+
+    [push] is O(1) and never grows the buffer: once full, each push
+    overwrites the oldest item and bumps {!dropped}.  Single-writer; a
+    multi-domain trace should give each domain its own ring (or use
+    {!Counters}, which is thread-safe). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Items currently held ([<= capacity]). *)
+
+val dropped : 'a t -> int
+(** Items overwritten since creation or the last {!clear}. *)
+
+val push : 'a t -> 'a -> unit
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Retained items, oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit

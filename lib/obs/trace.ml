@@ -1,0 +1,105 @@
+(* Hop-level route tracing: schemes emit structured events into an
+   optional sink.  With the sink absent nothing is constructed or
+   emitted — the routed walks are bit-identical either way (the
+   determinism contract tested in test/test_obs.ml). *)
+
+type phase_kind =
+  | Sparse
+  | Dense
+  | Global
+  | Direct
+  | Vicinity
+  | Pivot
+  | Color
+
+let kind_to_string = function
+  | Sparse -> "sparse"
+  | Dense -> "dense"
+  | Global -> "global"
+  | Direct -> "direct"
+  | Vicinity -> "vicinity"
+  | Pivot -> "pivot"
+  | Color -> "color"
+
+type event =
+  | Phase_start of { phase : int; kind : phase_kind; center : int; bound : int }
+  | Climb of { phase : int; from_node : int; to_node : int; hops : int }
+  | Tree_step of { round : int; from_node : int; to_node : int }
+  | Phase_result of { phase : int; found : bool; rounds : int }
+  | Stall of { at : int; toward : int }
+  | Deflect of { at : int; via : int }
+  | Replan of { at : int }
+  | Deliver of { phase : int; node : int }
+  | No_route of { phase : int }
+
+type sink = event -> unit
+
+let label = function
+  | Phase_start _ -> "phase_start"
+  | Climb _ -> "climb"
+  | Tree_step _ -> "tree_step"
+  | Phase_result _ -> "phase_result"
+  | Stall _ -> "stall"
+  | Deflect _ -> "deflect"
+  | Replan _ -> "replan"
+  | Deliver _ -> "deliver"
+  | No_route _ -> "no_route"
+
+let phase_of = function
+  | Phase_start { phase; _ } | Climb { phase; _ } | Phase_result { phase; _ }
+  | Deliver { phase; _ } | No_route { phase } ->
+      Some phase
+  | Tree_step _ | Stall _ | Deflect _ | Replan _ -> None
+
+let event_to_string = function
+  | Phase_start { phase; kind; center; bound } -> (
+      match kind with
+      | Sparse ->
+          Printf.sprintf "phase %d (sparse): to center %d, %d-bounded tree search" phase center
+            bound
+      | Dense ->
+          Printf.sprintf "phase %d (dense): cover level %d, cluster root %d" phase bound center
+      | Global -> Printf.sprintf "phase %d (global): fallback tree rooted at %d" phase center
+      | Direct -> Printf.sprintf "phase %d (direct): forwarding toward %d" phase center
+      | Vicinity -> Printf.sprintf "phase %d (vicinity): shortest path to %d" phase center
+      | Pivot -> Printf.sprintf "phase %d (pivot): via level-%d pivot %d" phase bound center
+      | Color -> Printf.sprintf "phase %d (color): via color node %d" phase center)
+  | Climb { phase; from_node; to_node; hops } ->
+      Printf.sprintf "phase %d: tree climb %d -> %d (%d hops)" phase from_node to_node hops
+  | Tree_step { round; from_node; to_node } ->
+      Printf.sprintf "search round %d: %d -> %d" round from_node to_node
+  | Phase_result { phase; found; rounds } ->
+      Printf.sprintf "phase %d: %s after %d rounds" phase
+        (if found then "found" else "negative response")
+        rounds
+  | Stall { at; toward } -> Printf.sprintf "stall at %d: hop toward %d is dead" at toward
+  | Deflect { at; via } -> Printf.sprintf "deflect at %d via alive neighbor %d" at via
+  | Replan { at } -> Printf.sprintf "replan from %d" at
+  | Deliver { phase; node } -> Printf.sprintf "delivered at %d (phase %d)" node phase
+  | No_route { phase } -> Printf.sprintf "no route (gave up after phase %d)" phase
+
+let event_to_json ev =
+  let module J = Cr_util.Jsonl in
+  let fields =
+    match ev with
+    | Phase_start { phase; kind; center; bound } ->
+        [ ("phase", J.int phase); ("kind", J.str (kind_to_string kind));
+          ("center", J.int center); ("bound", J.int bound) ]
+    | Climb { phase; from_node; to_node; hops } ->
+        [ ("phase", J.int phase); ("from", J.int from_node); ("to", J.int to_node);
+          ("hops", J.int hops) ]
+    | Tree_step { round; from_node; to_node } ->
+        [ ("round", J.int round); ("from", J.int from_node); ("to", J.int to_node) ]
+    | Phase_result { phase; found; rounds } ->
+        [ ("phase", J.int phase); ("found", J.bool found); ("rounds", J.int rounds) ]
+    | Stall { at; toward } -> [ ("at", J.int at); ("toward", J.int toward) ]
+    | Deflect { at; via } -> [ ("at", J.int at); ("via", J.int via) ]
+    | Replan { at } -> [ ("at", J.int at) ]
+    | Deliver { phase; node } -> [ ("phase", J.int phase); ("node", J.int node) ]
+    | No_route { phase } -> [ ("phase", J.int phase) ]
+  in
+  J.obj (("event", J.str (label ev)) :: fields)
+
+let tee a b ev =
+  a ev;
+  b ev

@@ -18,8 +18,9 @@ type result = {
   stretch : float;
 }
 
-let run policy plan apsp (scheme : Scheme.t) ~src ~dst =
+let run ?trace policy plan apsp (scheme : Scheme.t) ~src ~dst =
   let g = Apsp.graph apsp in
+  let emit ev = match trace with None -> () | Some f -> f ev in
   let n = Graph.n g in
   let cost = ref 0.0 and hops = ref 0 and retries = ref 0 in
   let walk_rev = ref [] in
@@ -56,7 +57,7 @@ let run policy plan apsp (scheme : Scheme.t) ~src ~dst =
     end
   in
   let plan_route u =
-    match scheme.Scheme.route u dst with
+    match scheme.Scheme.route ?trace u dst with
     | r -> Ok r
     | exception e -> Error (Sim.Invalid_hop (Printf.sprintf "scheme raised %s" (Printexc.to_string e)))
   in
@@ -96,6 +97,7 @@ let run policy plan apsp (scheme : Scheme.t) ~src ~dst =
               else stall claimed a b
         end
   and stall _claimed a b =
+    emit (Cr_obs.Trace.Stall { at = a; toward = b });
     if !retries >= policy.max_retries then finish (Sim.Dropped_at_fault (a, b))
     else if Hashtbl.mem stalls_seen (a, b) then finish Sim.Loop_detected
     else begin
@@ -104,14 +106,17 @@ let run policy plan apsp (scheme : Scheme.t) ~src ~dst =
       match deflect b with
       | None -> finish (Sim.Dropped_at_fault (a, b))
       | Some (w, wt, _) -> (
+          emit (Cr_obs.Trace.Deflect { at = a; via = w });
           match traverse w wt with
           | Error o -> finish o
           | Ok () -> (
               if !cur = dst then finish Sim.Delivered
-              else
+              else begin
+                emit (Cr_obs.Trace.Replan { at = !cur });
                 match plan_route !cur with
                 | Error o -> finish o
-                | Ok r -> follow r.Scheme.delivered r.Scheme.walk))
+                | Ok r -> follow r.Scheme.delivered r.Scheme.walk
+              end))
     end
   in
   if src < 0 || src >= n || dst < 0 || dst >= n then

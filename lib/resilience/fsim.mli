@@ -49,6 +49,7 @@ type result = {
 }
 
 val run :
+  ?trace:Cr_obs.Trace.sink ->
   policy ->
   Fault_plan.t ->
   Cr_graph.Apsp.t ->
@@ -57,4 +58,7 @@ val run :
   dst:int ->
   result
 (** Never raises: scheme exceptions are caught and classified as
-    [Invalid_hop]. *)
+    [Invalid_hop].  With [trace], the sink receives the scheme's own
+    routing events (the sink is passed through to every [route] call)
+    plus [Stall]/[Deflect]/[Replan] events for each fault encounter; the
+    realized walk and outcome are identical either way. *)

@@ -59,16 +59,22 @@ let descend tree q =
   in
   go (Tree.root tree) []
 
-let search t ident =
+let search ?trace t ident =
   let tree = t.tree in
   let root = Tree.root tree in
   let m = Tree.size tree in
   let q = slot_of ident m in
   let down = descend tree q in
   let dir_node = List.nth down (List.length down - 1) in
+  (match trace with
+  | None -> ()
+  | Some f -> f (Cr_obs.Trace.Tree_step { round = 1; from_node = root; to_node = dir_node }));
   let walk_rev = List.rev down in
   match Hashtbl.find_opt t.dir.(q) ident with
   | Some v ->
+      (match trace with
+      | None -> ()
+      | Some f -> f (Cr_obs.Trace.Tree_step { round = 2; from_node = dir_node; to_node = v }));
       let walk_rev = append_path tree walk_rev dir_node v in
       { walk = List.rev walk_rev; outcome = Found v }
   | None ->

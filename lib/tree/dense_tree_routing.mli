@@ -25,10 +25,12 @@ val build : Tree.t -> t
 
 val tree : t -> Tree.t
 
-val search : t -> int -> search_result
+val search : ?trace:Cr_obs.Trace.sink -> t -> int -> search_result
 (** [search t ident] searches from the root for the member with the given
     network identifier.  The walk starts at the root; on failure it ends
-    back at the root. *)
+    back at the root.  With [trace], the descent to the directory node
+    (and the hop to a hit) is emitted as [Tree_step] events; the walk is
+    identical either way. *)
 
 val cost_bound : t -> float
 (** The Lemma 7 bound [4·rad(T) + 2k·maxE(T)] for this tree, with

@@ -192,7 +192,7 @@ let append_path tree walk_rev a b =
   | [] -> walk_rev
   | _first :: rest -> List.rev_append rest walk_rev
 
-let search t ~bound ident_target =
+let search ?trace t ~bound ident_target =
   let bound = max 1 (min bound t.k) in
   let root = Tree.root t.tree in
   let h = Digit_hash.hash t.hash ident_target in
@@ -201,6 +201,9 @@ let search t ~bound ident_target =
     let ci = Tree.tree_index t.tree current in
     match Hashtbl.find_opt t.dir.(ci) ident_target with
     | Some v ->
+        (match trace with
+        | None -> ()
+        | Some f -> f (Cr_obs.Trace.Tree_step { round; from_node = current; to_node = v }));
         let walk_rev = append_path t.tree walk_rev current v in
         { walk = List.rev walk_rev; outcome = Found v; rounds = round }
     | None ->
@@ -212,6 +215,10 @@ let search t ~bound ident_target =
           match position_of_name ~sigma:t.sigma t.level_start ~m h round with
           | Some p ->
               let next = t.order.(p) in
+              (match trace with
+              | None -> ()
+              | Some f ->
+                  f (Cr_obs.Trace.Tree_step { round; from_node = current; to_node = next }));
               let walk_rev = append_path t.tree walk_rev current next in
               go next walk_rev (round + 1)
           | None ->

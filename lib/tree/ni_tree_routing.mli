@@ -60,11 +60,13 @@ val name_digits : t -> int -> int
     The minimal [j] for which a [j]-bounded search is guaranteed to find
     this node is [max 1 (name_digits t v)]. *)
 
-val search : t -> bound:int -> int -> search_result
+val search : ?trace:Cr_obs.Trace.sink -> t -> bound:int -> int -> search_result
 (** [search t ~bound ident] performs a [bound]-bounded search from the
     root for the node whose {e network identifier} is [ident] (which need
     not be in the tree: then the search reports a negative response).
-    [bound] is clamped to [\[1, k\]]. *)
+    [bound] is clamped to [\[1, k\]].  With [trace], every trie move
+    (and the final hop to a directory hit) is emitted as a
+    [Tree_step]; the returned walk is identical either way. *)
 
 val guaranteed_bound : t -> int array -> int
 (** [guaranteed_bound t vs] is the minimal [j] such that a [j]-bounded

@@ -17,8 +17,14 @@ let escape s =
 
 let str s = Printf.sprintf "\"%s\"" (escape s)
 
+(* JSON has no representation for non-finite numbers: [%g] would print
+   "inf"/"nan" and silently corrupt every line holding a failed route's
+   infinite stretch.  The repo-wide convention is that non-finite values
+   serialize as [null] (see DESIGN.md §7); consumers treat null as
+   "undefined / unreachable". *)
 let float x =
-  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
+  if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.1f" x
   else Printf.sprintf "%.6g" x
 
 let int = string_of_int
@@ -43,3 +49,105 @@ let write_lines lines path =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines)
+
+(* ---- strict validation ------------------------------------------------
+
+   A minimal RFC 8259 recognizer, used by the test suite (and available
+   to CI) to prove that every emitted line is strict JSON — in
+   particular that no "inf"/"nan" token ever leaks out again.  It
+   recognizes exactly one JSON value per input string and rejects
+   trailing garbage. *)
+
+exception Bad of int * string
+
+let validate s =
+  let n = String.length s in
+  let peek i = if i < n then Some s.[i] else None in
+  let fail i msg = raise (Bad (i, msg)) in
+  let rec skip_ws i =
+    match peek i with
+    | Some (' ' | '\t' | '\n' | '\r') -> skip_ws (i + 1)
+    | _ -> i
+  in
+  let expect i c =
+    match peek i with
+    | Some x when x = c -> i + 1
+    | _ -> fail i (Printf.sprintf "expected %C" c)
+  in
+  let literal i word =
+    let l = String.length word in
+    if i + l <= n && String.sub s i l = word then i + l
+    else fail i (Printf.sprintf "expected %s" word)
+  in
+  let rec string_body i =
+    match peek i with
+    | None -> fail i "unterminated string"
+    | Some '"' -> i + 1
+    | Some '\\' -> (
+        match peek (i + 1) with
+        | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> string_body (i + 2)
+        | Some 'u' ->
+            let hex j =
+              match peek j with
+              | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> ()
+              | _ -> fail j "bad \\u escape"
+            in
+            hex (i + 2); hex (i + 3); hex (i + 4); hex (i + 5);
+            string_body (i + 6)
+        | _ -> fail i "bad escape")
+    | Some c when Char.code c < 32 -> fail i "unescaped control byte"
+    | Some _ -> string_body (i + 1)
+  in
+  let digits i =
+    let rec go j = match peek j with Some '0' .. '9' -> go (j + 1) | _ -> j in
+    let j = go i in
+    if j = i then fail i "expected digit" else j
+  in
+  let number i =
+    let i = match peek i with Some '-' -> i + 1 | _ -> i in
+    let i =
+      match peek i with
+      | Some '0' -> i + 1
+      | Some '1' .. '9' -> digits i
+      | _ -> fail i "bad number"
+    in
+    let i = match peek i with Some '.' -> digits (i + 1) | _ -> i in
+    match peek i with
+    | Some ('e' | 'E') ->
+        let j = match peek (i + 1) with Some ('+' | '-') -> i + 2 | _ -> i + 1 in
+        digits j
+    | _ -> i
+  in
+  let rec value i =
+    let i = skip_ws i in
+    match peek i with
+    | Some '"' -> string_body (i + 1)
+    | Some '{' -> obj_tail (skip_ws (i + 1)) ~first:true
+    | Some '[' -> arr_tail (skip_ws (i + 1)) ~first:true
+    | Some 't' -> literal i "true"
+    | Some 'f' -> literal i "false"
+    | Some 'n' -> literal i "null"
+    | Some ('-' | '0' .. '9') -> number i
+    | _ -> fail i "expected a JSON value"
+  and obj_tail i ~first =
+    match peek i with
+    | Some '}' -> i + 1
+    | _ ->
+        let i = if first then i else skip_ws (expect i ',') in
+        let i = expect (skip_ws i) '"' in
+        let i = string_body i in
+        let i = expect (skip_ws i) ':' in
+        let i = skip_ws (value i) in
+        obj_tail i ~first:false
+  and arr_tail i ~first =
+    match peek i with
+    | Some ']' -> i + 1
+    | _ ->
+        let i = if first then i else skip_ws (expect i ',') in
+        let i = skip_ws (value i) in
+        arr_tail i ~first:false
+  in
+  match skip_ws (value 0) with
+  | i when i = n -> Ok ()
+  | i -> Error (Printf.sprintf "offset %d: trailing garbage" i)
+  | exception Bad (i, msg) -> Error (Printf.sprintf "offset %d: %s" i msg)

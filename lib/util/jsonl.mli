@@ -13,8 +13,11 @@ val str : string -> string
 (** A quoted, escaped JSON string. *)
 
 val float : float -> string
-(** Integral floats as ["1.0"], others as [%.6g] — matches the format
-    the resilience sweep has emitted since it was introduced. *)
+(** Integral floats as ["1.0"], others as [%.6g].  Non-finite values
+    ([infinity], [neg_infinity], [nan]) render as ["null"]: JSON has no
+    non-finite numbers, and a failed route's infinite stretch must not
+    corrupt the line.  Consumers read null as "undefined/unreachable"
+    (the convention is recorded in DESIGN.md §7). *)
 
 val int : int -> string
 
@@ -26,3 +29,9 @@ val obj : (string * string) list -> string
 
 val write_lines : string list -> string -> unit
 (** [write_lines lines path] writes each line plus ["\n"] to [path]. *)
+
+val validate : string -> (unit, string) result
+(** Strict RFC 8259 recognizer for exactly one JSON value (no trailing
+    garbage).  The test suite validates every emitted row through this,
+    so an ["inf"]/["nan"] token regression fails [dune runtest], not
+    just the CI python gate. *)

@@ -129,6 +129,15 @@ let test_lru_capacity_one_and_validation () =
   done;
   checki "length stays 1" 1 (Lru.length c);
   checkb "only the last key" true (Lru.mem c 9 && not (Lru.mem c 8));
+  (* at capacity 1 every add of a fresh key evicts the resident one, and
+     a find of the resident key (itself the MRU) must not perturb it *)
+  checkb "resident hit" true (Lru.find c 9 = Some 9);
+  checkb "evicted miss" true (Lru.find c 0 = None);
+  Lru.add c 10 10;
+  checkb "fresh add evicts resident" true (Lru.mem c 10 && not (Lru.mem c 9));
+  checki "still length 1" 1 (Lru.length c);
+  checki "hits counted" 1 (Lru.hits c);
+  checki "misses counted" 1 (Lru.misses c);
   checkb "capacity 0 rejected" true
     (try ignore (Lru.create ~capacity:0); false with Invalid_argument _ -> true)
 
@@ -197,6 +206,38 @@ let test_workload_connected_filter () =
   Array.iter
     (fun (s, d) -> checkb "finite distance" true (Apsp.distance apsp s d < infinity))
     pairs
+
+let test_workload_zipf_boundaries () =
+  (* rank_of is the inverse CDF behind draw: the boundary draws must pin
+     the hottest node at u = 0.0 and the coldest at u = 1.0, with the
+     final cdf cell forced to exactly 1.0 so no u can fall off the end *)
+  List.iter
+    (fun s ->
+      let d = Workload.Zipf s in
+      checki (Printf.sprintf "zipf:%g u=0 is rank 0" s) 0 (Workload.rank_of d ~n:50 0.0);
+      checki (Printf.sprintf "zipf:%g u=1 is rank n-1" s) 49 (Workload.rank_of d ~n:50 1.0);
+      checki (Printf.sprintf "zipf:%g u just under 1" s) 49
+        (Workload.rank_of d ~n:50 (1.0 -. 1e-12));
+      (* monotone in u *)
+      let prev = ref (-1) in
+      for i = 0 to 100 do
+        let r = Workload.rank_of d ~n:50 (float_of_int i /. 100.0) in
+        checkb "rank in range" true (r >= 0 && r < 50);
+        checkb "monotone" true (r >= !prev);
+        prev := r
+      done)
+    [ 0.5; 1.1; 2.0 ];
+  (* n = 1 degenerates to the single node at both ends *)
+  checki "n=1 u=0" 0 (Workload.rank_of (Workload.Zipf 1.1) ~n:1 0.0);
+  checki "n=1 u=1" 0 (Workload.rank_of (Workload.Zipf 1.1) ~n:1 1.0);
+  (* uniform endpoints, and out-of-range u clamps instead of escaping *)
+  checki "uniform u=0" 0 (Workload.rank_of Workload.Uniform ~n:10 0.0);
+  checki "uniform u=1 capped" 9 (Workload.rank_of Workload.Uniform ~n:10 1.0);
+  checki "u clamped below" 0 (Workload.rank_of (Workload.Zipf 1.1) ~n:10 (-0.5));
+  checki "u clamped above" 9 (Workload.rank_of (Workload.Zipf 1.1) ~n:10 2.0);
+  checkb "n=0 rejected" true
+    (try ignore (Workload.rank_of Workload.Uniform ~n:0 0.5); false
+     with Invalid_argument _ -> true)
 
 let test_workload_dist_parsing () =
   checkb "uniform" true (Workload.dist_of_string "uniform" = Ok Workload.Uniform);
@@ -276,6 +317,31 @@ let test_engine_empty_and_validation () =
       checki "empty queries" 0 m.Engine.queries);
   checkb "negative cache rejected" true
     (try ignore (Engine.create ~cache:(-1) ()); false with Invalid_argument _ -> true)
+
+let test_engine_counters_aggregate () =
+  let apsp = prepared_graph 18 ~n:60 in
+  let pairs = Experiment.default_pairs ~seed:19 apsp ~count:150 in
+  let sch = Baseline_tz.build ~k:3 apsp in
+  let counters = Cr_obs.Counters.create () in
+  with_pool ~domains:2 (fun pool ->
+      let engine = Engine.create ~cache:4096 ~counters ~pool () in
+      let results, _ = Engine.run_batch engine apsp sch pairs in
+      ignore (Engine.run_batch engine apsp sch pairs);
+      let get name = Cr_obs.Counters.get counters name in
+      checki "batches" 2 (get "engine.batches");
+      checki "queries" (2 * Array.length pairs) (get "engine.queries");
+      let delivered =
+        Array.fold_left
+          (fun acc (r : Simulator.measured) -> if r.delivered then acc + 1 else acc)
+          0 results
+      in
+      checki "delivered" (2 * delivered) (get "engine.delivered");
+      checki "cache hits + misses = queries" (2 * Array.length pairs)
+        (get "engine.cache_hits" + get "engine.cache_misses");
+      (* the replay alone contributes a hit per query; the first batch
+         may add more on duplicate pairs *)
+      checkb "replay hits on every query" true
+        (get "engine.cache_hits" >= Array.length pairs))
 
 (* ------------------------------------------------------------------ *)
 (* Rewired call sites: Apsp, Experiment, Sweep, Agm06 counters *)
@@ -441,6 +507,7 @@ let () =
           Alcotest.test_case "pairs valid" `Quick test_workload_pairs_valid;
           Alcotest.test_case "zipf skew" `Quick test_workload_zipf_is_skewed;
           Alcotest.test_case "connected filter" `Quick test_workload_connected_filter;
+          Alcotest.test_case "zipf boundaries" `Quick test_workload_zipf_boundaries;
           Alcotest.test_case "dist parsing" `Quick test_workload_dist_parsing;
         ] );
       ( "engine",
@@ -451,6 +518,7 @@ let () =
             test_engine_aggregate_matches_evaluate;
           Alcotest.test_case "cache hits on replay" `Quick test_engine_cache_hits_on_replay;
           Alcotest.test_case "empty batch + validation" `Quick test_engine_empty_and_validation;
+          Alcotest.test_case "counters aggregate" `Quick test_engine_counters_aggregate;
         ] );
       ( "rewired_call_sites",
         [

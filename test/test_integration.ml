@@ -119,7 +119,7 @@ let corrupt_scheme (inner : Scheme.t) mode =
     inner with
     Scheme.name = "corrupted";
     route =
-      (fun s d ->
+      (fun ?trace:_ s d ->
         let r = inner.Scheme.route s d in
         match (mode, r.Scheme.walk) with
         | `Truncate, _ :: _ :: _ ->

@@ -28,7 +28,7 @@ let dummy_scheme g walk_fn =
     graph = g;
     storage = Storage.create ~n:(Graph.n g);
     header_bits = Scheme.default_header_bits ~n:(Graph.n g);
-    route = (fun s d -> let w, ok = walk_fn s d in { Scheme.walk = w; delivered = ok; phases_used = 1 });
+    route = (fun ?trace:_ s d -> let w, ok = walk_fn s d in { Scheme.walk = w; delivered = ok; phases_used = 1 });
   }
 
 (* ------------------------------------------------------------------ *)

@@ -131,6 +131,19 @@ let test_stats_percentile () =
   checkf "p100" 5.0 (Stats.percentile xs 1.0);
   checkf "interp" 1.5 (Stats.percentile xs 0.125)
 
+let test_stats_percentile_edges () =
+  (* a single-element sample answers every quantile with that element *)
+  let one = [| 7.5 |] in
+  checkf "single p0" 7.5 (Stats.percentile one 0.0);
+  checkf "single p50" 7.5 (Stats.percentile one 0.5);
+  checkf "single p100" 7.5 (Stats.percentile one 1.0);
+  (* q = 0 and q = 1 are exact order statistics, never interpolated *)
+  let xs = [| -3.0; 4.0; 10.0 |] in
+  checkf "q0 is min" (-3.0) (Stats.percentile xs 0.0);
+  checkf "q1 is max" 10.0 (Stats.percentile xs 1.0);
+  Alcotest.check_raises "empty raises" (Invalid_argument "Stats.percentile: empty sample")
+    (fun () -> ignore (Stats.percentile [||] 0.5))
+
 let test_stats_summarize () =
   let s = Stats.summarize [| 3.0; 1.0; 2.0 |] in
   checki "count" 3 s.Stats.count;
@@ -157,6 +170,70 @@ let test_stats_linear_fit () =
   let a, b = Stats.linear_fit [| (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) |] in
   checkf "slope" 2.0 a;
   checkf "intercept" 1.0 b
+
+(* ------------------------------------------------------------------ *)
+(* Jsonl *)
+
+module Jsonl = Cr_util.Jsonl
+
+let checks = Alcotest.(check string)
+
+let test_jsonl_float_finite () =
+  checks "integral" "1.0" (Jsonl.float 1.0);
+  checks "negative integral" "-2.0" (Jsonl.float (-2.0));
+  checks "fraction" "1.5" (Jsonl.float 1.5);
+  (* negative zero still renders as a plain number *)
+  checks "negative zero" "-0.0" (Jsonl.float (-0.0))
+
+let test_jsonl_float_non_finite () =
+  (* JSON has no non-finite numbers: the convention (DESIGN.md §7) is
+     null, never the invalid tokens "inf"/"nan" *)
+  checks "inf" "null" (Jsonl.float infinity);
+  checks "neg inf" "null" (Jsonl.float neg_infinity);
+  checks "nan" "null" (Jsonl.float Float.nan)
+
+let test_jsonl_non_finite_rows_validate () =
+  (* the exact shape a failed route produces: stretch = infinity *)
+  let row =
+    Jsonl.obj
+      [
+        ("scheme", Jsonl.str "agm06");
+        ("delivered", Jsonl.bool false);
+        ("stretch", Jsonl.float infinity);
+        ("stretch_p99", Jsonl.float Float.nan);
+        ("cost", Jsonl.float (-0.0));
+      ]
+  in
+  (match Jsonl.validate row with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "row with non-finite floats must stay valid JSON: %s" msg);
+  checkb "no inf token" false
+    (let rec find i =
+       i + 3 <= String.length row && (String.sub row i 3 = "inf" || find (i + 1))
+     in
+     find 0)
+
+let test_jsonl_validate () =
+  let ok s = checkb (Printf.sprintf "accepts %s" s) true (Jsonl.validate s = Ok ()) in
+  let bad s = checkb (Printf.sprintf "rejects %s" s) true (Result.is_error (Jsonl.validate s)) in
+  ok "null";
+  ok "true";
+  ok "-12.5e3";
+  ok "\"a \\\"quoted\\\" string\"";
+  ok "[1,2,[],{\"k\":null}]";
+  ok "{\"a\":1,\"b\":[true,false],\"c\":{\"d\":\"e\"}}";
+  ok "  {\"spaced\" : 1}  ";
+  bad "";
+  bad "inf";
+  bad "nan";
+  bad "{\"stretch\":inf}";
+  bad "{\"a\":1,}";
+  bad "[1 2]";
+  bad "{\"a\" 1}";
+  bad "\"unterminated";
+  bad "{\"a\":1} trailing";
+  bad "01";
+  bad "1."
 
 (* ------------------------------------------------------------------ *)
 (* Bits *)
@@ -413,11 +490,20 @@ let () =
           Alcotest.test_case "mean" `Quick test_stats_mean;
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile edges" `Quick test_stats_percentile_edges;
           Alcotest.test_case "summarize" `Quick test_stats_summarize;
           Alcotest.test_case "summarize empty" `Quick test_stats_summarize_empty;
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "cdf" `Quick test_stats_cdf;
           Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "finite floats" `Quick test_jsonl_float_finite;
+          Alcotest.test_case "non-finite floats are null" `Quick test_jsonl_float_non_finite;
+          Alcotest.test_case "non-finite rows stay valid" `Quick
+            test_jsonl_non_finite_rows_validate;
+          Alcotest.test_case "validate" `Quick test_jsonl_validate;
         ] );
       ( "bits",
         [
