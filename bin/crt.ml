@@ -13,7 +13,11 @@
                  (scheme, failure rate) cell, plus JSON lines
      serve       closed-loop load generator over the batch query
                  engine: routes/sec, latency percentiles, cache
-                 hit rates per scheme, plus JSON lines
+                 hit rates and guard outcomes per scheme, plus JSON
+                 lines; --guards/--chaos select presets
+     chaos       chaos grid: serve the same workload under every
+                 (chaos preset x guard preset) pair and tally the
+                 guard verdicts per cell, as a table plus JSON lines
      trace       route one message with the trace sink attached and
                  print the hop-by-hop event narration (phase entered,
                  tree-search steps, delivery), as a table or JSON lines
@@ -405,13 +409,44 @@ let serve_cmd =
   let json_arg =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the per-run JSON lines to FILE instead of stdout.")
   in
-  let run seed k workload graph_file aspect schemes queries dist domains cache json =
+  let guards_arg =
+    Arg.(value & opt string "off"
+         & info [ "guards" ] ~docv:"G" ~doc:"Guard preset: off, serving or strict.")
+  in
+  let chaos_arg =
+    Arg.(value & opt string "none"
+         & info [ "chaos" ] ~docv:"C" ~doc:"Chaos preset: none, crash, stall, flaky or storm.")
+  in
+  let budget_arg =
+    Arg.(value & opt float 0.25
+         & info [ "budget" ] ~docv:"S" ~doc:"Batch deadline budget in seconds for the strict guard preset.")
+  in
+  let chaos_seed_arg =
+    Arg.(value & opt int 42
+         & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Seed of the deterministic fault plans.")
+  in
+  let run seed k workload graph_file aspect schemes queries dist domains cache guards chaos
+      budget chaos_seed json =
     if domains < 1 then (
       Printf.eprintf "crt: --domains must be >= 1\n";
       exit 1);
     if cache < 0 then (
       Printf.eprintf "crt: --cache must be >= 0\n";
       exit 1);
+    let policy =
+      match Cr_guard.Policy.preset_of_string ~batch_budget_s:budget guards with
+      | Ok p -> p
+      | Error msg ->
+          Printf.eprintf "crt: %s\n" msg;
+          exit 2
+    in
+    let chaos =
+      match Cr_guard.Chaos.preset_of_string ~seed:chaos_seed chaos with
+      | Ok c -> c
+      | Error msg ->
+          Printf.eprintf "crt: %s\n" msg;
+          exit 2
+    in
     let g = load_graph ~seed ~graph_file ~workload ~aspect in
     let apsp = Apsp.compute_parallel g in
     let wl_label =
@@ -422,8 +457,8 @@ let serve_cmd =
       try
         List.map
           (fun scheme ->
-            Serve.run ~cache ~dist ~domains ~seed:(seed + 1) ~queries ~workload:wl_label apsp
-              scheme)
+            Serve.run ~cache ~dist ~policy ~chaos ~guard_label:guards ~domains ~seed:(seed + 1)
+              ~queries ~workload:wl_label apsp scheme)
           schemes
       with Workload.Sample_exhausted ->
         Printf.eprintf
@@ -434,12 +469,13 @@ let serve_cmd =
     let table =
       T.create
         ~title:
-          (Printf.sprintf "%s, %d queries (%s), k=%d, domains=%d, cache=%d" wl_label queries
-             (Workload.dist_to_string dist) k domains cache)
+          (Printf.sprintf "%s, %d queries (%s), k=%d, domains=%d, cache=%d, guards=%s, chaos=%s"
+             wl_label queries (Workload.dist_to_string dist) k domains cache guards
+             (Cr_guard.Chaos.label chaos))
         [
           ("scheme", T.Left); ("routes/s", T.Right); ("p50 us", T.Right); ("p95 us", T.Right);
-          ("p99 us", T.Right); ("hit rate", T.Right); ("delivered", T.Right);
-          ("stretch mean", T.Right); ("p99", T.Right);
+          ("p99 us", T.Right); ("hit rate", T.Right); ("ok", T.Right); ("rejected", T.Right);
+          ("delivered", T.Right); ("stretch mean", T.Right); ("p99", T.Right);
         ]
     in
     List.iter
@@ -453,7 +489,9 @@ let serve_cmd =
             Printf.sprintf "%.1f" (1e6 *. r.Serve.latency.Cr_util.Stats.p99);
             (if r.Serve.cache_capacity = 0 then "-"
              else Printf.sprintf "%.3f" (Serve.hit_rate r));
-            Printf.sprintf "%d/%d" r.Serve.delivered r.Serve.queries;
+            Printf.sprintf "%d/%d" r.Serve.guards.Cr_engine.Engine.ok r.Serve.queries;
+            string_of_int (Serve.rejected r);
+            Printf.sprintf "%d/%d" r.Serve.delivered r.Serve.guards.Cr_engine.Engine.ok;
             T.fmt_float r.Serve.stretch_mean; T.fmt_float r.Serve.stretch_p99;
           ])
       reports;
@@ -467,10 +505,100 @@ let serve_cmd =
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Closed-loop load generator: serve a query workload through the batch engine.")
+       ~doc:"Closed-loop load generator: serve a query workload through the guarded batch engine.")
     Term.(
       const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ schemes_arg
-      $ queries_arg $ dist_arg $ domains_arg $ cache_arg $ json_arg)
+      $ queries_arg $ dist_arg $ domains_arg $ cache_arg $ guards_arg $ chaos_arg $ budget_arg
+      $ chaos_seed_arg $ json_arg)
+
+(* ---------- chaos ---------- *)
+
+let chaos_cmd =
+  let module Workload = Cr_engine.Workload in
+  let module Sweep = Cr_engine.Chaos_sweep in
+  let module Pool = Cr_util.Domain_pool in
+  let queries_arg =
+    Arg.(value & opt int 4000 & info [ "queries" ] ~docv:"Q" ~doc:"Queries per grid cell.")
+  in
+  let domains_arg =
+    Arg.(value & opt int (Pool.default_domains ())
+         & info [ "domains" ] ~docv:"N" ~doc:"Worker-domain pool width per cell.")
+  in
+  let cache_arg =
+    Arg.(value & opt int 0 & info [ "cache" ] ~docv:"C" ~doc:"Per-lane LRU route-plan cache capacity in entries (0 disables).")
+  in
+  let budget_arg =
+    Arg.(value & opt float 0.25
+         & info [ "budget" ] ~docv:"S" ~doc:"Batch deadline budget in seconds for the strict guard preset.")
+  in
+  let chaos_seed_arg =
+    Arg.(value & opt int 42
+         & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Seed of the deterministic fault plans.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the per-cell JSON lines to FILE instead of stdout.")
+  in
+  let run seed k workload graph_file aspect scheme queries domains cache budget chaos_seed json =
+    if domains < 1 then (
+      Printf.eprintf "crt: --domains must be >= 1\n";
+      exit 1);
+    let g = load_graph ~seed ~graph_file ~workload ~aspect in
+    let apsp = Apsp.compute_parallel g in
+    let wl_label =
+      match graph_file with Some path -> path | None -> Experiment.workload_name workload
+    in
+    let sch = build_scheme apsp ~k ~seed scheme in
+    let cells =
+      try
+        Sweep.sweep ~cache ~chaos_seed ~batch_budget_s:budget ~domains ~seed:(seed + 1) ~queries
+          ~workload:wl_label apsp sch
+      with Workload.Sample_exhausted ->
+        Printf.eprintf
+          "crt: could not sample %d connected pairs; is the graph disconnected or tiny?\n"
+          queries;
+        exit 1
+    in
+    let table =
+      T.create
+        ~title:
+          (Printf.sprintf "%s, %s, %d queries/cell, domains=%d, budget=%.3gs, chaos-seed=%d"
+             wl_label sch.Scheme.name queries domains budget chaos_seed)
+        [
+          ("chaos", T.Left); ("guards", T.Left); ("ok", T.Right); ("t/o", T.Right);
+          ("shed", T.Right); ("brk", T.Right); ("lost", T.Right); ("retries", T.Right);
+          ("requeues", T.Right); ("served", T.Right); ("budget", T.Right); ("wall ms", T.Right);
+        ]
+    in
+    let last_chaos = ref "" in
+    List.iter
+      (fun (c : Sweep.cell) ->
+        if !last_chaos <> "" && !last_chaos <> c.Sweep.chaos then T.add_sep table;
+        last_chaos := c.Sweep.chaos;
+        T.add_row table
+          [
+            c.Sweep.chaos; c.Sweep.guards; string_of_int c.Sweep.ok;
+            string_of_int c.Sweep.timed_out; string_of_int c.Sweep.shed;
+            string_of_int c.Sweep.breaker_open; string_of_int c.Sweep.worker_lost;
+            string_of_int c.Sweep.retries; string_of_int c.Sweep.requeues;
+            Printf.sprintf "%.1f%%" (100.0 *. Sweep.served_ratio c);
+            (if c.Sweep.within_budget then "ok" else "OVER");
+            Printf.sprintf "%.1f" (1e3 *. c.Sweep.wall_s);
+          ])
+      cells;
+    T.print table;
+    let lines = List.map Sweep.cell_to_json cells in
+    match json with
+    | Some path ->
+        Cr_util.Jsonl.write_lines lines path;
+        Printf.printf "json written to %s\n" path
+    | None -> List.iter print_endline lines
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Chaos grid: sweep chaos presets against guard presets and tally the verdicts.")
+    Term.(
+      const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ scheme_arg
+      $ queries_arg $ domains_arg $ cache_arg $ budget_arg $ chaos_seed_arg $ json_arg)
 
 (* ---------- trace ---------- *)
 
@@ -621,5 +749,14 @@ let build_cmd =
 
 let () =
   let doc = "compact-routing toolbox: the AGM'06 scale-free name-independent scheme and its comparators" in
-  let main = Cmd.group (Cmd.info "crt" ~doc) [ generate_cmd; info_cmd; decompose_cmd; covers_cmd; route_cmd; eval_cmd; tables_cmd; resilience_cmd; serve_cmd; trace_cmd; build_cmd ] in
-  exit (Cmd.eval main)
+  let main = Cmd.group (Cmd.info "crt" ~doc) [ generate_cmd; info_cmd; decompose_cmd; covers_cmd; route_cmd; eval_cmd; tables_cmd; resilience_cmd; serve_cmd; chaos_cmd; trace_cmd; build_cmd ] in
+  (* CLI misuse (unknown subcommand, malformed flag, bad roster name) is
+     a one-line usage error on stderr and exit 2 — never a backtrace.
+     [~catch:false] so real bugs still crash loudly in CI. *)
+  match Cmd.eval_value ~catch:false main with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term) -> exit 2 (* cmdliner already printed the usage line *)
+  | Error `Exn -> exit 125
+  | exception Invalid_argument msg ->
+      Printf.eprintf "crt: %s\n" msg;
+      exit 2

@@ -1,0 +1,107 @@
+(* The chaos grid: serve the same deterministic workload under every
+   (chaos preset x guard preset) pair and tally what the guard stack
+   did about each injected failure mode.  Mirrors Cr_resilience.Sweep:
+   cells are pure data, rendered as JSONL by cell_to_json and as an
+   ASCII table by the CLI. *)
+
+module Jsonl = Cr_util.Jsonl
+module Guard = Cr_guard
+
+type cell = {
+  chaos : string;
+  guards : string;
+  queries : int;
+  domains : int;
+  wall_s : float;
+  routes_per_sec : float;
+  ok : int;
+  timed_out : int;
+  shed : int;
+  breaker_open : int;
+  worker_lost : int;
+  retries : int;
+  requeues : int;
+  lost_lanes : int;
+  stalls : int;
+  delivered : int;
+  stretch_p99 : float;
+  within_budget : bool; (* wall_s <= batch budget (with 25% slack), or no budget *)
+}
+
+let served_ratio c =
+  if c.queries = 0 then 1.0 else float_of_int c.ok /. float_of_int c.queries
+
+let cell_of_report ~within_budget (r : Serve.report) =
+  {
+    chaos = r.Serve.chaos_label;
+    guards = r.Serve.guard_label;
+    queries = r.Serve.queries;
+    domains = r.Serve.domains;
+    wall_s = r.Serve.wall_s;
+    routes_per_sec = r.Serve.routes_per_sec;
+    ok = r.Serve.guards.Engine.ok;
+    timed_out = r.Serve.guards.Engine.timed_out;
+    shed = r.Serve.guards.Engine.shed;
+    breaker_open = r.Serve.guards.Engine.breaker_open;
+    worker_lost = r.Serve.guards.Engine.worker_lost;
+    retries = r.Serve.guards.Engine.retries;
+    requeues = r.Serve.guards.Engine.requeues;
+    lost_lanes = r.Serve.guards.Engine.lost_lanes;
+    stalls = r.Serve.guards.Engine.stalls;
+    delivered = r.Serve.delivered;
+    stretch_p99 = r.Serve.stretch_p99;
+    within_budget;
+  }
+
+let run_cell ?(cache = 0) ?(dist = Workload.Zipf 1.1) ~domains ~seed ~queries ~workload
+    ~guard_label policy chaos apsp scheme =
+  let r =
+    Serve.run ~cache ~dist ~policy ~chaos ~guard_label ~domains ~seed ~queries ~workload apsp
+      scheme
+  in
+  let within_budget =
+    match policy.Guard.Policy.batch_budget_s with
+    | None -> true
+    | Some b ->
+        (* generous slack: the budget cuts off work, it cannot cancel a
+           query already in flight or an injected stall mid-sleep *)
+        r.Serve.wall_s <= b *. 1.25
+  in
+  cell_of_report ~within_budget r
+
+let sweep ?cache ?dist ?(chaos_seed = 42) ?(batch_budget_s = 0.25) ~domains ~seed ~queries
+    ~workload apsp scheme =
+  let chaoses = Guard.Chaos.presets ~seed:chaos_seed in
+  let policies = Guard.Policy.presets ~batch_budget_s in
+  List.concat_map
+    (fun (_, chaos) ->
+      List.map
+        (fun (glabel, policy) ->
+          run_cell ?cache ?dist ~domains ~seed ~queries ~workload ~guard_label:glabel policy
+            chaos apsp scheme)
+        policies)
+    chaoses
+
+let cell_to_json c =
+  Jsonl.obj
+    [
+      ("chaos", Jsonl.str c.chaos);
+      ("guards", Jsonl.str c.guards);
+      ("queries", Jsonl.int c.queries);
+      ("domains", Jsonl.int c.domains);
+      ("wall_s", Jsonl.float c.wall_s);
+      ("routes_per_sec", Jsonl.float c.routes_per_sec);
+      ("ok", Jsonl.int c.ok);
+      ("timed_out", Jsonl.int c.timed_out);
+      ("shed", Jsonl.int c.shed);
+      ("breaker_open", Jsonl.int c.breaker_open);
+      ("worker_lost", Jsonl.int c.worker_lost);
+      ("retries", Jsonl.int c.retries);
+      ("requeues", Jsonl.int c.requeues);
+      ("lost_lanes", Jsonl.int c.lost_lanes);
+      ("stalls", Jsonl.int c.stalls);
+      ("delivered", Jsonl.int c.delivered);
+      ("served_ratio", Jsonl.float (served_ratio c));
+      ("stretch_p99", Jsonl.float c.stretch_p99);
+      ("within_budget", Jsonl.bool c.within_budget);
+    ]

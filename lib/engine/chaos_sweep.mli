@@ -1,0 +1,74 @@
+(** The chaos grid behind [crt chaos].
+
+    Serves the same deterministic workload under every (chaos preset x
+    guard preset) pair — lane crashes, stalls, transient query faults,
+    latency spikes, overload budgets — and tallies the guard stack's
+    verdicts per cell.  Every run terminates with structured outcomes
+    regardless of the injected faults; that is the property the chaos
+    suite pins.
+
+    Mirrors [Cr_resilience.Sweep]: cells are pure data, one JSON line
+    each via {!cell_to_json}; the ASCII rendering lives in [crt]. *)
+
+type cell = {
+  chaos : string;  (** chaos preset label (none/crash/stall/flaky/storm) *)
+  guards : string;  (** guard preset label (off/serving/strict) *)
+  queries : int;
+  domains : int;
+  wall_s : float;
+  routes_per_sec : float;
+  ok : int;
+  timed_out : int;
+  shed : int;
+  breaker_open : int;
+  worker_lost : int;
+  retries : int;
+  requeues : int;
+  lost_lanes : int;
+  stalls : int;
+  delivered : int;  (** among ok outcomes *)
+  stretch_p99 : float;  (** over served queries *)
+  within_budget : bool;
+      (** wall time within the batch budget (25% slack for work already
+          in flight at expiry); [true] when the cell has no budget *)
+}
+
+val served_ratio : cell -> float
+(** [ok / queries]; 1 for an empty cell. *)
+
+val run_cell :
+  ?cache:int ->
+  ?dist:Workload.dist ->
+  domains:int ->
+  seed:int ->
+  queries:int ->
+  workload:string ->
+  guard_label:string ->
+  Cr_guard.Policy.t ->
+  Cr_guard.Chaos.t ->
+  Cr_graph.Apsp.t ->
+  Compact_routing.Scheme.t ->
+  cell
+(** One grid cell: {!Serve.run} under the given policy and chaos. *)
+
+val sweep :
+  ?cache:int ->
+  ?dist:Workload.dist ->
+  ?chaos_seed:int ->
+  ?batch_budget_s:float ->
+  domains:int ->
+  seed:int ->
+  queries:int ->
+  workload:string ->
+  Cr_graph.Apsp.t ->
+  Compact_routing.Scheme.t ->
+  cell list
+(** The full grid: {!Cr_guard.Chaos.presets} (outer) crossed with
+    {!Cr_guard.Policy.presets} (inner).  [chaos_seed] (default 42)
+    seeds the fault plans; [batch_budget_s] (default 0.25) is the
+    strict preset's batch budget.  The workload itself depends only on
+    [(dist, seed, queries)], so the "none"/"off" cell reproduces the
+    plain serve. *)
+
+val cell_to_json : cell -> string
+(** One JSON object per cell (single line, no trailing newline). *)

@@ -2,17 +2,30 @@
    lanes of a domain pool, optionally consulting a per-lane LRU
    route-plan cache, and records throughput plus per-query latency.
 
-   Determinism contract (tested in test/test_engine.ml):
+   Determinism contract (tested in test/test_engine.ml and
+   test/test_guard.ml):
    - result.(i) is a pure function of (apsp, scheme, pairs.(i)):
      Simulator.measure reads only immutable preprocessed tables, so the
      result array is bit-identical across any pool width and with the
      cache on or off.
-   - Sharding is static: lane l owns the contiguous slice
-     [l*nq/lanes, (l+1)*nq/lanes), so each per-lane cache is touched by
-     exactly one executor per batch (no locking needed) and hit/miss
-     totals are reproducible for a fixed (pairs, lanes, capacity).
+   - Sharding is static: shard l owns the contiguous slice
+     [l*nq/lanes, (l+1)*nq/lanes), so each per-shard cache, breaker and
+     cost estimate is touched by exactly one executor per batch (no
+     locking needed) and hit/miss totals are reproducible for a fixed
+     (pairs, lanes, capacity).  Under pool chaos a crashed lane's whole
+     shard is requeued to a survivor, so the single-executor-per-batch
+     property — and with it the result array — survives lane loss.
    - Metrics (wall time, latency percentiles) are measured, not
-     simulated, and are the only nondeterministic outputs. *)
+     simulated, and are the only nondeterministic outputs.
+
+   Guarded serving (run_guarded): the same sharded loop threaded
+   through the Cr_guard stack.  Per query, in order: batch deadline,
+   shed admission, per-shard circuit breaker, then execution under
+   bounded retry with chaos-injected faults, and a final per-query /
+   batch deadline check.  Every refusal is a structured
+   Cr_guard.Rejection — nothing raises — and with Policy.off and
+   Chaos.none the guarded path performs exactly the unguarded
+   operations in the same order, so its results are bit-identical. *)
 
 module Pool = Cr_util.Domain_pool
 module Stats = Cr_util.Stats
@@ -20,11 +33,15 @@ module Graph = Cr_graph.Graph
 module Apsp = Cr_graph.Apsp
 module Sim = Compact_routing.Simulator
 module Scheme = Compact_routing.Scheme
+module Guard = Cr_guard
 
 type t = {
   pool : Pool.t;
   cache_capacity : int;
-  caches : Sim.measured Lru.t array; (* one per lane; [||] when disabled *)
+  caches : Sim.measured Lru.t array; (* one per shard; [||] when disabled *)
+  policy : Guard.Policy.t;
+  breakers : Guard.Breaker.t array; (* one per shard; [||] when disabled *)
+  est_cost : float array; (* per-shard EWMA query cost, 0.0 = unknown *)
   counters : Cr_obs.Counters.t option;
   mutable served : int;
   mutable busy_s : float;
@@ -40,45 +57,107 @@ type metrics = {
   cache_misses : int;
 }
 
-let create ?(cache = 0) ?counters ?pool () =
+type outcome = (Sim.measured, Guard.Rejection.t) result
+
+type guard_stats = {
+  ok : int;
+  timed_out : int;
+  shed : int;
+  breaker_open : int;
+  worker_lost : int;
+  retries : int;
+  requeues : int;
+  lost_lanes : int;
+  stalls : int;
+}
+
+let no_guard_stats =
+  {
+    ok = 0;
+    timed_out = 0;
+    shed = 0;
+    breaker_open = 0;
+    worker_lost = 0;
+    retries = 0;
+    requeues = 0;
+    lost_lanes = 0;
+    stalls = 0;
+  }
+
+let create ?(cache = 0) ?(policy = Guard.Policy.off) ?counters ?pool () =
   if cache < 0 then invalid_arg "Engine.create: negative cache capacity";
   let pool = match pool with Some p -> p | None -> Pool.shared () in
+  let lanes = Pool.domains pool in
   let caches =
-    if cache = 0 then [||]
-    else Array.init (Pool.domains pool) (fun _ -> Lru.create ~capacity:cache)
+    if cache = 0 then [||] else Array.init lanes (fun _ -> Lru.create ~capacity:cache)
   in
-  { pool; cache_capacity = cache; caches; counters; served = 0; busy_s = 0.0 }
+  let breakers =
+    match policy.Guard.Policy.breaker with
+    | None -> [||]
+    | Some cfg -> Array.init lanes (fun _ -> Guard.Breaker.create cfg)
+  in
+  {
+    pool;
+    cache_capacity = cache;
+    caches;
+    policy;
+    breakers;
+    est_cost = Array.make lanes 0.0;
+    counters;
+    served = 0;
+    busy_s = 0.0;
+  }
 
 let pool t = t.pool
 let cache_capacity t = t.cache_capacity
+let policy t = t.policy
 let served t = t.served
 let busy_seconds t = t.busy_s
+
+let breaker_state t ~shard =
+  if Array.length t.breakers = 0 then None else Some (Guard.Breaker.state t.breakers.(shard))
 
 let cache_stats t =
   Array.fold_left (fun (h, m) c -> (h + Lru.hits c, m + Lru.misses c)) (0, 0) t.caches
 
 let slice ~lanes ~nq lane = (lane * nq / lanes, (lane + 1) * nq / lanes)
 
-let run_batch t apsp scheme pairs =
+(* EWMA weight for the per-shard cost estimate *)
+let est_alpha = 0.2
+
+(* The single batch core.  [guarded = false] is the plain engine: no
+   deadline/shed/breaker/retry branches are even consulted, preserving
+   the original hot loop exactly.  [guarded = true] wraps each query in
+   the guard chain; with Policy.off and Chaos.none every branch is a
+   no-op and the measure/cache operations are identical. *)
+let run_core t ~guarded ~chaos apsp scheme pairs =
   let nq = Array.length pairs in
   let lanes = Pool.domains t.pool in
   let n = Graph.n (Apsp.graph apsp) in
-  (* placeholders: every slot is overwritten below *)
   let out =
+    (* placeholders: every slot is overwritten below (the pool
+       guarantees exactly-once execution even under lane crashes) *)
     Array.make (max nq 1)
-      { Sim.src = 0; dst = 0; delivered = false; cost = 0.0; hops = 0; stretch = infinity }
+      (Ok { Sim.src = 0; dst = 0; delivered = false; cost = 0.0; hops = 0; stretch = infinity })
   in
   let lat = Array.make (max nq 1) 0.0 in
+  let retries_total = Atomic.make 0 in
+  let qstalls_total = Atomic.make 0 in
   let hits0, misses0 = cache_stats t in
+  let policy = t.policy in
+  let batch_dl = Guard.Deadline.start ?budget_s:policy.Guard.Policy.batch_budget_s () in
   let t0 = Unix.gettimeofday () in
-  if nq > 0 then
-    Pool.parallel_for ~chunk:1 t.pool ~n:lanes (fun lane ->
-        let lo, hi = slice ~lanes ~nq lane in
-        let cache = if Array.length t.caches = 0 then None else Some t.caches.(lane) in
-        for q = lo to hi - 1 do
-          let s, d = pairs.(q) in
-          let q0 = Unix.gettimeofday () in
-          let m =
+  let pool_stats =
+    if nq = 0 then Pool.no_stats
+    else
+      Pool.parallel_for_stats ~chunk:1 ?chaos:(Guard.Chaos.pool_chaos chaos) t.pool ~n:lanes
+        (fun shard ->
+          let lo, hi = slice ~lanes ~nq shard in
+          let cache = if Array.length t.caches = 0 then None else Some t.caches.(shard) in
+          let breaker =
+            if Array.length t.breakers = 0 then None else Some t.breakers.(shard)
+          in
+          let measure s d =
             match cache with
             | None -> Sim.measure apsp scheme s d
             | Some c -> (
@@ -90,27 +169,116 @@ let run_batch t apsp scheme pairs =
                     Lru.add c key m;
                     m)
           in
-          out.(q) <- m;
-          lat.(q) <- Unix.gettimeofday () -. q0
-        done);
+          for q = lo to hi - 1 do
+            let s, d = pairs.(q) in
+            let q0 = Unix.gettimeofday () in
+            if not guarded then out.(q) <- Ok (measure s d)
+            else begin
+              let verdict =
+                if Guard.Deadline.expired batch_dl then Error Guard.Rejection.Timed_out
+                else if
+                  match policy.Guard.Policy.shed with
+                  | None -> false
+                  | Some cfg ->
+                      Guard.Shed.decide cfg ~queued:(hi - 1 - q)
+                        ~remaining_s:(Guard.Deadline.remaining batch_dl)
+                        ~est_cost_s:t.est_cost.(shard)
+                then Error Guard.Rejection.Shed
+                else if
+                  match breaker with Some br -> not (Guard.Breaker.allow br) | None -> false
+                then Error Guard.Rejection.Breaker_open
+                else begin
+                  (* admitted: execute under chaos + bounded retry *)
+                  let stall = Guard.Chaos.query_stall_s chaos ~q in
+                  if stall > 0.0 then begin
+                    Atomic.incr qstalls_total;
+                    !Guard.Clock.sleep stall
+                  end;
+                  let injected = Guard.Chaos.query_fails chaos ~q in
+                  let qdl =
+                    Guard.Deadline.start ?budget_s:policy.Guard.Policy.query_budget_s ()
+                  in
+                  let attempts = ref 0 in
+                  let r =
+                    Guard.Retry.run policy.Guard.Policy.retry ~key:q (fun ~attempt ->
+                        incr attempts;
+                        if attempt <= injected then Error Guard.Rejection.Worker_lost
+                        else Ok (measure s d))
+                  in
+                  ignore (Atomic.fetch_and_add retries_total (!attempts - 1));
+                  let r =
+                    (* a computed answer that overran its budget is
+                       still a timeout to the caller *)
+                    match r with
+                    | Ok _
+                      when Guard.Deadline.expired qdl || Guard.Deadline.expired batch_dl ->
+                        Error Guard.Rejection.Timed_out
+                    | r -> r
+                  in
+                  (match breaker with
+                  | Some br -> Guard.Breaker.record br ~ok:(Result.is_ok r)
+                  | None -> ());
+                  let cost = Unix.gettimeofday () -. q0 in
+                  t.est_cost.(shard) <-
+                    (if t.est_cost.(shard) = 0.0 then cost
+                     else ((1.0 -. est_alpha) *. t.est_cost.(shard)) +. (est_alpha *. cost));
+                  r
+                end
+              in
+              out.(q) <- verdict
+            end;
+            lat.(q) <- Unix.gettimeofday () -. q0
+          done)
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let hits1, misses1 = cache_stats t in
   t.served <- t.served + nq;
   t.busy_s <- t.busy_s +. wall;
-  (* Aggregate once per batch, from the coordinating thread: the counts
-     are pure functions of the deterministic result array. *)
+  (* tally outcomes once per batch, from the coordinating thread: the
+     counts are pure functions of the outcome array *)
+  let ok = ref 0 and timed_out = ref 0 and shed = ref 0 in
+  let breaker_open = ref 0 and worker_lost = ref 0 and delivered = ref 0 in
+  for q = 0 to nq - 1 do
+    match out.(q) with
+    | Ok m ->
+        incr ok;
+        if m.Sim.delivered then incr delivered
+    | Error Guard.Rejection.Timed_out -> incr timed_out
+    | Error Guard.Rejection.Shed -> incr shed
+    | Error Guard.Rejection.Breaker_open -> incr breaker_open
+    | Error Guard.Rejection.Worker_lost -> incr worker_lost
+  done;
+  let gstats =
+    {
+      ok = !ok;
+      timed_out = !timed_out;
+      shed = !shed;
+      breaker_open = !breaker_open;
+      worker_lost = !worker_lost;
+      retries = Atomic.get retries_total;
+      requeues = pool_stats.Pool.requeued;
+      lost_lanes = pool_stats.Pool.lost_lanes;
+      stalls = pool_stats.Pool.stalls + Atomic.get qstalls_total;
+    }
+  in
   (match t.counters with
   | None -> ()
   | Some c ->
-      let delivered = ref 0 in
-      for q = 0 to nq - 1 do
-        if out.(q).Sim.delivered then incr delivered
-      done;
       Cr_obs.Counters.incr c "engine.batches";
       Cr_obs.Counters.add c "engine.queries" nq;
       Cr_obs.Counters.add c "engine.delivered" !delivered;
       Cr_obs.Counters.add c "engine.cache_hits" (hits1 - hits0);
-      Cr_obs.Counters.add c "engine.cache_misses" (misses1 - misses0));
+      Cr_obs.Counters.add c "engine.cache_misses" (misses1 - misses0);
+      if guarded then begin
+        Cr_obs.Counters.add c "guard.timeouts" gstats.timed_out;
+        Cr_obs.Counters.add c "guard.sheds" gstats.shed;
+        Cr_obs.Counters.add c "guard.breaker_opens" gstats.breaker_open;
+        Cr_obs.Counters.add c "guard.worker_lost" gstats.worker_lost;
+        Cr_obs.Counters.add c "guard.retries" gstats.retries;
+        Cr_obs.Counters.add c "guard.requeues" gstats.requeues;
+        Cr_obs.Counters.add c "guard.lost_lanes" gstats.lost_lanes;
+        Cr_obs.Counters.add c "guard.stalls" gstats.stalls
+      end);
   let metrics =
     {
       queries = nq;
@@ -122,7 +290,15 @@ let run_batch t apsp scheme pairs =
       cache_misses = misses1 - misses0;
     }
   in
-  ((if nq = 0 then [||] else Array.sub out 0 nq), metrics)
+  ((if nq = 0 then [||] else Array.sub out 0 nq), metrics, gstats)
+
+let run_batch t apsp scheme pairs =
+  let out, metrics, _ = run_core t ~guarded:false ~chaos:Guard.Chaos.none apsp scheme pairs in
+  ( Array.map (function Ok m -> m | Error _ -> assert false (* unguarded is total *)) out,
+    metrics )
+
+let run_guarded ?(chaos = Guard.Chaos.none) t apsp scheme pairs =
+  run_core t ~guarded:true ~chaos apsp scheme pairs
 
 let evaluate t apsp scheme pairs =
   let results, metrics = run_batch t apsp scheme pairs in

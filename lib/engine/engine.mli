@@ -2,7 +2,7 @@
 
     Turns routing evaluation into a served workload: a query batch
     [(src, dst) array] is sharded statically across the lanes of a
-    spawn-once domain pool, each lane optionally consulting its own LRU
+    spawn-once domain pool, each shard optionally consulting its own LRU
     route-plan cache, while the engine records throughput and per-query
     latency.
 
@@ -12,11 +12,17 @@
       [(apsp, scheme, pairs.(i))] — bit-identical across any pool width
       and with the cache on or off (cached entries are the values the
       computation would produce).
-    - Sharding is static (lane [l] owns one contiguous slice), so each
-      per-lane cache has a single executor per batch and hit/miss
-      totals are reproducible for a fixed [(pairs, domains, capacity)].
+    - Sharding is static (shard [l] owns one contiguous slice), so each
+      per-shard cache, breaker and cost estimate has a single executor
+      per batch and hit/miss totals are reproducible for a fixed
+      [(pairs, domains, capacity)].  A lane crashed by pool chaos hands
+      its whole shard to a survivor, which keeps the single-executor
+      property — and the result array — intact.
     - Only the measured {!metrics} (wall time, latency percentiles) are
       nondeterministic.
+    - {!run_guarded} under [Cr_guard.Policy.off] and
+      [Cr_guard.Chaos.none] performs exactly the unguarded operations in
+      the same order: its outcomes are [Ok] of the {!run_batch} results.
 
     Schemes must be safe to query from several domains: every scheme in
     this repo routes from immutable preprocessed tables (the AGM06 live
@@ -30,23 +36,56 @@ type metrics = {
   wall_s : float;
   routes_per_sec : float;
   latency : Cr_util.Stats.summary;  (** per-query seconds: p50/p95/p99 etc. *)
-  cache_hits : int;  (** this batch, summed over lanes *)
+  cache_hits : int;  (** this batch, summed over shards *)
   cache_misses : int;
 }
 
+type outcome = (Compact_routing.Simulator.measured, Cr_guard.Rejection.t) result
+(** One query's guarded verdict: a routed measurement, or a structured
+    refusal.  Guards never raise. *)
+
+type guard_stats = {
+  ok : int;
+  timed_out : int;
+  shed : int;
+  breaker_open : int;
+  worker_lost : int;
+  retries : int;  (** extra attempts consumed by bounded retry *)
+  requeues : int;  (** indexes re-run by survivors after lane crashes *)
+  lost_lanes : int;
+  stalls : int;  (** injected stalls taken (pool + query layers) *)
+}
+(** Per-batch guard tally.  [ok + timed_out + shed + breaker_open +
+    worker_lost = queries], and each field reconciles exactly with the
+    [guard.*] counters bumped on the engine's [Counters] sink. *)
+
+val no_guard_stats : guard_stats
+
 val create :
-  ?cache:int -> ?counters:Cr_obs.Counters.t -> ?pool:Cr_util.Domain_pool.t -> unit -> t
-(** [create ()] runs on the shared pool with the cache disabled.
-    [cache] is the per-lane LRU capacity in entries ([0] disables;
-    negative raises [Invalid_argument]).  Caches persist across
-    batches of the same engine.  With [counters], every batch bumps the
-    [engine.*] aggregates (batches, queries, delivered, cache hits and
-    misses) — once per batch from the coordinating thread, so the counts
-    are as deterministic as the results they summarize. *)
+  ?cache:int ->
+  ?policy:Cr_guard.Policy.t ->
+  ?counters:Cr_obs.Counters.t ->
+  ?pool:Cr_util.Domain_pool.t ->
+  unit ->
+  t
+(** [create ()] runs on the shared pool with the cache disabled and
+    every guard off.  [cache] is the per-shard LRU capacity in entries
+    ([0] disables; negative raises [Invalid_argument]).  [policy]
+    configures the guard stack for {!run_guarded}; breaker state and
+    per-shard cost estimates persist across batches of the same engine,
+    like the caches.  With [counters], every batch bumps the [engine.*]
+    aggregates — and every guarded batch the [guard.*] ones — once per
+    batch from the coordinating thread, so the counts are as
+    deterministic as the results they summarize. *)
 
 val pool : t -> Cr_util.Domain_pool.t
 
 val cache_capacity : t -> int
+
+val policy : t -> Cr_guard.Policy.t
+
+val breaker_state : t -> shard:int -> Cr_guard.Breaker.state option
+(** Current breaker state of one shard; [None] when breakers are off. *)
 
 val run_batch :
   t ->
@@ -54,9 +93,25 @@ val run_batch :
   Compact_routing.Scheme.t ->
   (int * int) array ->
   Compact_routing.Simulator.measured array * metrics
-(** Routes and measures every query.
+(** Routes and measures every query, unguarded.
     @raise Compact_routing.Simulator.Invalid_walk if the scheme emits a
     malformed walk (re-raised in the caller whichever lane hit it). *)
+
+val run_guarded :
+  ?chaos:Cr_guard.Chaos.t ->
+  t ->
+  Cr_graph.Apsp.t ->
+  Compact_routing.Scheme.t ->
+  (int * int) array ->
+  outcome array * metrics * guard_stats
+(** The guarded serving path.  Per query, in order: batch-deadline
+    check, shed admission, per-shard circuit breaker, then execution
+    under bounded retry with [chaos]-injected faults, and a final
+    query/batch deadline check.  Always terminates with a total outcome
+    array — a wedged shard is cut off by deadlines, overload is shed,
+    lost workers surface as [Worker_lost] — and never raises for any
+    guard reason (scheme exceptions still propagate, as in
+    {!run_batch}). *)
 
 val evaluate :
   t ->
@@ -75,4 +130,4 @@ val busy_seconds : t -> float
 (** Lifetime wall seconds spent inside batches. *)
 
 val cache_stats : t -> int * int
-(** Lifetime [(hits, misses)] summed over the per-lane caches. *)
+(** Lifetime [(hits, misses)] summed over the per-shard caches. *)

@@ -1,11 +1,22 @@
 (* Closed-loop load generation: generate a deterministic workload, push
    it through the engine at full speed, and report throughput, latency
    percentiles, cache behavior and routing quality in one record.
-   Shared by the [crt serve] subcommand and the P1 bench target. *)
+   Shared by the [crt serve] subcommand, the [crt chaos] sweeps and the
+   P1 bench target.
+
+   Runs are guarded end-to-end: the engine's guarded path threads the
+   Cr_guard stack (deadlines, retry, breaker, shed) through every
+   shard, and the report carries both the structured outcome tally and
+   the guard.* counters — which reconcile exactly, being two views of
+   the same outcome array.  The default Policy.off + Chaos.none run
+   serves every query and reports the same routing quality as the
+   unguarded engine (bit-identical results; see Engine's determinism
+   contract). *)
 
 module Pool = Cr_util.Domain_pool
 module Stats = Cr_util.Stats
 module Jsonl = Cr_util.Jsonl
+module Guard = Cr_guard
 module Graph = Cr_graph.Graph
 module Apsp = Cr_graph.Apsp
 module Sim = Compact_routing.Simulator
@@ -18,22 +29,31 @@ type report = {
   queries : int;
   domains : int;
   cache_capacity : int;
+  guard_label : string; (* "off" when no guard is active *)
+  chaos_label : string; (* Chaos plan label, "none" by default *)
   wall_s : float;
   routes_per_sec : float;
   latency : Stats.summary; (* seconds per query *)
   cache_hits : int;
   cache_misses : int;
-  delivered : int;
+  guards : Engine.guard_stats; (* ok + rejections partition queries *)
+  delivered : int; (* delivered among the ok outcomes *)
   stretch_mean : float;
   stretch_p99 : float;
-  counters : (string * int) list; (* engine.* aggregates, sorted by name *)
+  counters : (string * int) list; (* engine.* / guard.* aggregates, sorted *)
 }
 
 let hit_rate r =
   let total = r.cache_hits + r.cache_misses in
   if total = 0 then 0.0 else float_of_int r.cache_hits /. float_of_int total
 
-let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ~domains ~seed ~queries ~workload apsp scheme =
+let rejected r =
+  r.guards.Engine.timed_out + r.guards.Engine.shed + r.guards.Engine.breaker_open
+  + r.guards.Engine.worker_lost
+
+let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ?(policy = Guard.Policy.off)
+    ?(chaos = Guard.Chaos.none) ?(guard_label = "") ~domains ~seed ~queries ~workload apsp
+    scheme =
   let pool = Pool.create ~domains in
   Fun.protect
     ~finally:(fun () -> Pool.shutdown pool)
@@ -41,8 +61,17 @@ let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ~domains ~seed ~queries ~worklo
       let n = Graph.n (Apsp.graph apsp) in
       let pairs = Workload.generate ~pool ~connected_in:apsp dist ~seed ~n ~count:queries in
       let counters = Cr_obs.Counters.create () in
-      let engine = Engine.create ~cache ~counters ~pool () in
-      let agg, m = Engine.evaluate engine apsp scheme pairs in
+      let engine = Engine.create ~cache ~policy ~counters ~pool () in
+      let outcomes, m, gstats = Engine.run_guarded ~chaos engine apsp scheme pairs in
+      let served =
+        (* routing quality is judged on the served queries only; the
+           rejected ones are accounted for in [guards] *)
+        Array.of_list
+          (List.filter_map
+             (function Ok meas -> Some meas | Error _ -> None)
+             (Array.to_list outcomes))
+      in
+      let agg = Sim.aggregate_of_measured served in
       {
         scheme = scheme.Scheme.name;
         workload;
@@ -50,11 +79,17 @@ let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ~domains ~seed ~queries ~worklo
         queries = m.Engine.queries;
         domains = Pool.domains pool;
         cache_capacity = cache;
+        guard_label =
+          (if guard_label <> "" then guard_label
+           else if Guard.Policy.is_off policy then "off"
+           else "custom");
+        chaos_label = Guard.Chaos.label chaos;
         wall_s = m.Engine.wall_s;
         routes_per_sec = m.Engine.routes_per_sec;
         latency = m.Engine.latency;
         cache_hits = m.Engine.cache_hits;
         cache_misses = m.Engine.cache_misses;
+        guards = gstats;
         delivered = agg.Sim.delivered;
         stretch_mean = agg.Sim.stretch_stats.Stats.mean;
         stretch_p99 = agg.Sim.stretch_stats.Stats.p99;
@@ -70,6 +105,8 @@ let report_to_json r =
       ("queries", Jsonl.int r.queries);
       ("domains", Jsonl.int r.domains);
       ("cache", Jsonl.int r.cache_capacity);
+      ("guards", Jsonl.str r.guard_label);
+      ("chaos", Jsonl.str r.chaos_label);
       ("wall_s", Jsonl.float r.wall_s);
       ("routes_per_sec", Jsonl.float r.routes_per_sec);
       ("latency_p50_us", Jsonl.float (1e6 *. r.latency.Stats.p50));
@@ -78,6 +115,15 @@ let report_to_json r =
       ("cache_hits", Jsonl.int r.cache_hits);
       ("cache_misses", Jsonl.int r.cache_misses);
       ("hit_rate", Jsonl.float (hit_rate r));
+      ("ok", Jsonl.int r.guards.Engine.ok);
+      ("timed_out", Jsonl.int r.guards.Engine.timed_out);
+      ("shed", Jsonl.int r.guards.Engine.shed);
+      ("breaker_open", Jsonl.int r.guards.Engine.breaker_open);
+      ("worker_lost", Jsonl.int r.guards.Engine.worker_lost);
+      ("retries", Jsonl.int r.guards.Engine.retries);
+      ("requeues", Jsonl.int r.guards.Engine.requeues);
+      ("lost_lanes", Jsonl.int r.guards.Engine.lost_lanes);
+      ("stalls", Jsonl.int r.guards.Engine.stalls);
       ("delivered", Jsonl.int r.delivered);
       ("stretch_mean", Jsonl.float r.stretch_mean);
       ("stretch_p99", Jsonl.float r.stretch_p99);

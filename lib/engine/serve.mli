@@ -3,8 +3,16 @@
     One [run] = one served workload: a deterministic query stream
     (see {!Workload}) pushed through {!Engine} on a dedicated pool of
     the requested width, reported as throughput, latency percentiles,
-    cache behavior and routing quality.  Shared by [crt serve] and the
-    [P1] bench target, so the CLI and the bench agree on semantics. *)
+    cache behavior, guard outcomes and routing quality.  Shared by
+    [crt serve], [crt chaos] and the [P1] bench target, so the CLI and
+    the bench agree on semantics.
+
+    Serving is guarded end-to-end: [run] takes a {!Cr_guard.Policy.t}
+    and a {!Cr_guard.Chaos.t} and always terminates with a total
+    outcome tally — injected crashes, stalls and overload surface as
+    structured rejections in {!report.guards}, never as hangs or
+    uncaught exceptions.  The defaults ([Policy.off], [Chaos.none])
+    reproduce the plain unguarded serve bit-identically. *)
 
 type report = {
   scheme : string;
@@ -13,24 +21,37 @@ type report = {
   queries : int;
   domains : int;
   cache_capacity : int;  (** per-lane LRU entries; 0 = disabled *)
+  guard_label : string;  (** guard preset name; ["off"] when inactive *)
+  chaos_label : string;  (** chaos plan label; ["none"] by default *)
   wall_s : float;
   routes_per_sec : float;
   latency : Cr_util.Stats.summary;  (** seconds per query *)
   cache_hits : int;
   cache_misses : int;
-  delivered : int;
-  stretch_mean : float;
+  guards : Engine.guard_stats;
+      (** ok + the four rejection kinds partition [queries]; reconciles
+          exactly with the [guard.*] entries of [counters] *)
+  delivered : int;  (** delivered among the [ok] outcomes *)
+  stretch_mean : float;  (** over served (ok) queries only *)
   stretch_p99 : float;
   counters : (string * int) list;
-      (** the engine's [engine.*] aggregates for this run, sorted by name *)
+      (** the engine's [engine.*] (and, when guarded, [guard.*])
+          aggregates for this run, sorted by name *)
 }
 
 val hit_rate : report -> float
 (** [hits / (hits + misses)]; 0 when the cache is off. *)
 
+val rejected : report -> int
+(** Total queries refused by any guard; [report.guards.ok + rejected r
+    = r.queries]. *)
+
 val run :
   ?cache:int ->
   ?dist:Workload.dist ->
+  ?policy:Cr_guard.Policy.t ->
+  ?chaos:Cr_guard.Chaos.t ->
+  ?guard_label:string ->
   domains:int ->
   seed:int ->
   queries:int ->
@@ -39,11 +60,15 @@ val run :
   Compact_routing.Scheme.t ->
   report
 (** Generates [queries] connected pairs ([dist] defaults to
-    [Zipf 1.1]), serves them on a fresh pool of [domains] lanes (shut
-    down before returning), and reports.  The query stream and the
-    routing results depend only on [(dist, seed, queries)] — never on
-    [domains] or [cache]; only the measured throughput/latency do. *)
+    [Zipf 1.1]), serves them through the guarded engine on a fresh
+    pool of [domains] lanes (shut down before returning, even on
+    raise), and reports.  The query stream and the routing results
+    depend only on [(dist, seed, queries)] — never on [domains] or
+    [cache]; only the measured throughput/latency do.  [guard_label]
+    overrides the preset name recorded in the report (by default
+    ["off"] or ["custom"] is derived from [policy]). *)
 
 val report_to_json : report -> string
 (** One machine-readable JSON object (single line, no trailing
-    newline); latencies in microseconds. *)
+    newline); latencies in microseconds.  Carries the full guard
+    outcome tally plus the nested counter snapshot. *)

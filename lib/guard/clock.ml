@@ -1,0 +1,22 @@
+(* The guard clock: one process-wide swappable time source shared by
+   Deadline and Breaker, the same idiom as Cr_obs.Profile.clock.  Tests
+   install a fake clock to drive deadline expiry and breaker cooldowns
+   deterministically; production leaves the Unix default in place. *)
+
+let now : (unit -> float) ref = ref Unix.gettimeofday
+
+(* Sleeping is also swappable so retry backoff never blocks a test. *)
+let sleep : (float -> unit) ref = ref (fun s -> if s > 0.0 then Unix.sleepf s)
+
+let with_fake f =
+  let saved_now = !now and saved_sleep = !sleep in
+  let t = ref 0.0 in
+  now := (fun () -> !t);
+  (* a fake sleep advances fake time, so backoff interacts with
+     deadlines exactly as it would on a wall clock *)
+  sleep := (fun s -> if s > 0.0 then t := !t +. s);
+  Fun.protect
+    ~finally:(fun () ->
+      now := saved_now;
+      sleep := saved_sleep)
+    (fun () -> f (fun dt -> t := !t +. dt))

@@ -1,0 +1,20 @@
+(** The guard time source.
+
+    One process-wide swappable clock shared by {!Deadline} budgets and
+    {!Breaker} cooldowns — the [Cr_obs.Profile.clock] idiom.  Defaults
+    to [Unix.gettimeofday]; tests swap in a fake to drive expiry and
+    cooldown transitions deterministically. *)
+
+val now : (unit -> float) ref
+(** Seconds, monotone enough for budgets (wrong only across a
+    wall-clock step, like the engine's throughput metrics). *)
+
+val sleep : (float -> unit) ref
+(** Used by retry backoff.  Defaults to [Unix.sleepf]; swap to avoid
+    real waits in tests. *)
+
+val with_fake : ((float -> unit) -> 'a) -> 'a
+(** [with_fake f] installs a fake clock starting at 0.0 and a fake
+    sleep that advances it, calls [f advance] where [advance dt] moves
+    fake time forward, and restores the real clock on exit (exceptions
+    included). *)

@@ -1,0 +1,21 @@
+(* Deadline budgets over the swappable guard clock.  A deadline is an
+   absolute expiry captured at [start]; [None] means "no budget", which
+   never expires — the guarded fast path then reduces to two compares. *)
+
+type t = { started : float; expiry : float (* infinity = no budget *) }
+
+let start ?budget_s () =
+  let now = !Clock.now () in
+  match budget_s with
+  | None -> { started = now; expiry = infinity }
+  | Some b ->
+      if not (b >= 0.0) then invalid_arg "Deadline.start: negative budget";
+      { started = now; expiry = now +. b }
+
+let elapsed t = !Clock.now () -. t.started
+
+let remaining t = t.expiry -. !Clock.now ()
+
+let expired t = !Clock.now () >= t.expiry
+
+let bounded t = t.expiry < infinity

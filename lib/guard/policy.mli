@@ -1,0 +1,43 @@
+(** The assembled guard configuration for one serving run.
+
+    Bundles deadline budgets, the retry policy, and the breaker and
+    shed configs that [Cr_engine.Engine.run_guarded] threads through
+    every shard.  {!off} disables every guard: the guarded path under
+    [off] and [Chaos.none] is bit-identical to the unguarded engine
+    (the determinism pin of the chaos suite). *)
+
+type t = {
+  batch_budget_s : float option;
+  query_budget_s : float option;
+  retry : Retry.policy;
+  breaker : Breaker.config option;
+  shed : Shed.config option;
+}
+
+val off : t
+
+val make :
+  ?batch_budget_s:float ->
+  ?query_budget_s:float ->
+  ?retry:Retry.policy ->
+  ?breaker:Breaker.config ->
+  ?shed:Shed.config ->
+  unit ->
+  t
+(** @raise Invalid_argument on a negative budget. *)
+
+val serving : t
+(** Production default: 3 retry attempts (0.5ms base backoff),
+    default breaker and shed, no deadline — budgets are opt-in. *)
+
+val strict : batch_budget_s:float -> t
+(** [serving] plus a batch budget, a query budget of a tenth of it,
+    and headroom-2 shedding: the overload configuration of the chaos
+    sweeps. *)
+
+val is_off : t -> bool
+
+val presets : batch_budget_s:float -> (string * t) list
+(** off / serving / strict, for the [crt chaos] grid. *)
+
+val preset_of_string : batch_budget_s:float -> string -> (t, string) result

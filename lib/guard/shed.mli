@@ -1,0 +1,25 @@
+(** Load shedding: admission control before any work is spent.
+
+    A query is shed when the shard's queue is deeper than [max_queue],
+    or when the remaining deadline budget cannot fit [headroom] times
+    the shard's estimated per-query cost (deadline feasibility).
+    Shedding early keeps served latencies bounded under overload
+    instead of letting the whole tail time out late. *)
+
+type config = {
+  max_queue : int;  (** admit while the shard queue depth is <= this *)
+  headroom : float;  (** required remaining budget, in per-query costs *)
+}
+
+val default_config : config
+(** Unbounded queue, headroom 1.0 — sheds only on infeasibility, and
+    only once a deadline and a cost estimate exist. *)
+
+val make_config : ?max_queue:int -> ?headroom:float -> unit -> config
+(** @raise Invalid_argument on a negative [max_queue] or [headroom]. *)
+
+val decide : config -> queued:int -> remaining_s:float -> est_cost_s:float -> bool
+(** [true] = shed.  [remaining_s] is the batch deadline's remaining
+    budget ([infinity] when unbounded); [est_cost_s] the shard's
+    per-query cost estimate ([0.0] when unknown, which disables the
+    feasibility trigger). *)

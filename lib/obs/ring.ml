@@ -1,7 +1,15 @@
 (* Bounded ring buffer: the default trace sink.  Keeps the most recent
-   [capacity] items, counts what it had to drop, never grows. *)
+   [capacity] items, counts what it had to drop, never grows.
+
+   A single mutex serializes push/clear/to_list so multiple domains can
+   share one sink: pushes interleave in some order, but the ring's
+   invariants (filled <= capacity, pushed = filled + dropped, to_list
+   returns whole items oldest-first) hold under any interleaving.  The
+   ring is a debug path — one uncontended lock per push is noise next
+   to formatting an event. *)
 
 type 'a t = {
+  lock : Mutex.t;
   buf : 'a option array;
   mutable next : int; (* slot to write *)
   mutable filled : int; (* items currently held, <= capacity *)
@@ -10,33 +18,38 @@ type 'a t = {
 
 let create ~capacity =
   if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
-  { buf = Array.make capacity None; next = 0; filled = 0; dropped = 0 }
+  { lock = Mutex.create (); buf = Array.make capacity None; next = 0; filled = 0; dropped = 0 }
+
+let locked t f = Mutex.protect t.lock f
 
 let capacity t = Array.length t.buf
 
-let length t = t.filled
+let length t = locked t (fun () -> t.filled)
 
-let dropped t = t.dropped
+let dropped t = locked t (fun () -> t.dropped)
 
 let push t x =
-  let cap = Array.length t.buf in
-  if t.filled = cap then t.dropped <- t.dropped + 1 else t.filled <- t.filled + 1;
-  t.buf.(t.next) <- Some x;
-  t.next <- (t.next + 1) mod cap
+  locked t (fun () ->
+      let cap = Array.length t.buf in
+      if t.filled = cap then t.dropped <- t.dropped + 1 else t.filled <- t.filled + 1;
+      t.buf.(t.next) <- Some x;
+      t.next <- (t.next + 1) mod cap)
 
 let clear t =
-  Array.fill t.buf 0 (Array.length t.buf) None;
-  t.next <- 0;
-  t.filled <- 0;
-  t.dropped <- 0
+  locked t (fun () ->
+      Array.fill t.buf 0 (Array.length t.buf) None;
+      t.next <- 0;
+      t.filled <- 0;
+      t.dropped <- 0)
 
 (* oldest first *)
 let to_list t =
-  let cap = Array.length t.buf in
-  let start = (t.next - t.filled + cap) mod cap in
-  List.init t.filled (fun i ->
-      match t.buf.((start + i) mod cap) with
-      | Some x -> x
-      | None -> assert false)
+  locked t (fun () ->
+      let cap = Array.length t.buf in
+      let start = (t.next - t.filled + cap) mod cap in
+      List.init t.filled (fun i ->
+          match t.buf.((start + i) mod cap) with
+          | Some x -> x
+          | None -> assert false))
 
 let iter f t = List.iter f (to_list t)

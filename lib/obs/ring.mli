@@ -1,9 +1,11 @@
 (** Bounded ring buffer — the default event sink for long traces.
 
     [push] is O(1) and never grows the buffer: once full, each push
-    overwrites the oldest item and bumps {!dropped}.  Single-writer; a
-    multi-domain trace should give each domain its own ring (or use
-    {!Counters}, which is thread-safe). *)
+    overwrites the oldest item and bumps {!dropped}.  Thread-safe: a
+    mutex serializes the operations, so domains sharing one sink
+    interleave whole items (never torn state) and
+    [length + dropped = total pushes] holds under any interleaving —
+    though a per-domain ring still gives better ordering. *)
 
 type 'a t
 

@@ -141,6 +141,35 @@ let test_lru_capacity_one_and_validation () =
   checkb "capacity 0 rejected" true
     (try ignore (Lru.create ~capacity:0); false with Invalid_argument _ -> true)
 
+let test_lru_interleaved_at_capacity () =
+  (* a full interleaving of hits, misses, updates and evictions while
+     the cache sits exactly at its capacity boundary, with exact
+     counter accounting at every step *)
+  let c = Lru.create ~capacity:3 in
+  Lru.add c 1 "a";
+  Lru.add c 2 "b";
+  Lru.add c 3 "c";
+  checki "at capacity" 3 (Lru.length c);
+  checkb "hit promotes 1" true (Lru.find c 1 = Some "a");
+  (* recency now 2 < 3 < 1: a fresh add must evict 2, not 1 *)
+  Lru.add c 4 "d";
+  checkb "2 evicted" false (Lru.mem c 2);
+  checkb "miss on evicted" true (Lru.find c 2 = None);
+  checkb "hit promotes 3" true (Lru.find c 3 = Some "c");
+  (* recency 1 < 4 < 3: next eviction takes 1 *)
+  Lru.add c 5 "e";
+  checkb "1 evicted" false (Lru.mem c 1);
+  checkb "miss on 1" true (Lru.find c 1 = None);
+  (* updating a resident key at capacity evicts nothing *)
+  Lru.add c 5 "E";
+  checki "update keeps length" 3 (Lru.length c);
+  checkb "updated value" true (Lru.find c 5 = Some "E");
+  checkb "4 survived the update" true (Lru.mem c 4);
+  checkb "3 survived the update" true (Lru.mem c 3);
+  checki "exact hits" 3 (Lru.hits c);
+  checki "exact misses" 2 (Lru.misses c);
+  checki "never over capacity" 3 (Lru.length c)
+
 let test_lru_churn_against_hashtbl () =
   (* random churn: the LRU must agree with a model that never evicts, on
      every key that is still resident *)
@@ -498,6 +527,7 @@ let () =
           Alcotest.test_case "basics" `Quick test_lru_basics;
           Alcotest.test_case "update promotes" `Quick test_lru_update_promotes;
           Alcotest.test_case "capacity one + validation" `Quick test_lru_capacity_one_and_validation;
+          Alcotest.test_case "interleaved at capacity" `Quick test_lru_interleaved_at_capacity;
           Alcotest.test_case "random churn vs model" `Quick test_lru_churn_against_hashtbl;
         ] );
       ( "workload",

@@ -500,6 +500,10 @@ let test_gio_parse_errors_carry_line_numbers () =
   checki "zero weight" 2 (line_of "graph 2 1\nedge 0 1 0.0\n");
   checki "negative weight" 2 (line_of "graph 2 1\nedge 0 1 -3.0\n");
   checki "nan weight" 2 (line_of "graph 2 1\nedge 0 1 nan\n");
+  checki "infinite weight" 2 (line_of "graph 2 1\nedge 0 1 inf\n");
+  checki "negative infinite weight" 2 (line_of "graph 2 1\nedge 0 1 -inf\n");
+  checki "infinite weight after valid lines" 3
+    (line_of "graph 3 2\nedge 0 1 1.0\nedge 1 2 infinity\n");
   (* self-loop *)
   checki "self-loop" 2 (line_of "graph 2 1\nedge 1 1 1.0\n");
   (* wrong field counts *)

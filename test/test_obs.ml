@@ -61,6 +61,43 @@ let test_ring_bounds () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_ring_concurrent_writers_wraparound () =
+  (* several domains hammer one ring far past wraparound: the invariants
+     (bounded length, pushes = retained + dropped, whole items only)
+     must hold under any interleaving *)
+  let capacity = 64 in
+  let writers = 4 in
+  let per_writer = 1000 in
+  let r = Ring.create ~capacity in
+  let spawned =
+    Array.init writers (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_writer - 1 do
+              Ring.push r ((w * per_writer) + i)
+            done))
+  in
+  Array.iter Domain.join spawned;
+  let total = writers * per_writer in
+  checki "full after wraparound" capacity (Ring.length r);
+  checki "dropped accounts for every push" (total - capacity) (Ring.dropped r);
+  let retained = Ring.to_list r in
+  checki "to_list returns the retained items" capacity (List.length retained);
+  (* every retained item is a whole pushed value, never torn state *)
+  List.iter
+    (fun x -> checkb "valid item" true (x >= 0 && x < total))
+    retained;
+  (* each writer's items appear in its own push order *)
+  for w = 0 to writers - 1 do
+    let mine = List.filter (fun x -> x / per_writer = w) retained in
+    checkb
+      (Printf.sprintf "writer %d order preserved" w)
+      true
+      (List.sort compare mine = mine)
+  done;
+  (* no item appears twice among the retained slots *)
+  checki "retained items distinct" capacity
+    (List.length (List.sort_uniq compare retained))
+
 (* ------------------------------------------------------------------ *)
 (* Counters *)
 
@@ -276,7 +313,12 @@ let test_fsim_trace_events () =
 let () =
   Alcotest.run "obs"
     [
-      ("ring", [ Alcotest.test_case "bounds and eviction" `Quick test_ring_bounds ]);
+      ( "ring",
+        [
+          Alcotest.test_case "bounds and eviction" `Quick test_ring_bounds;
+          Alcotest.test_case "concurrent writers wraparound" `Quick
+            test_ring_concurrent_writers_wraparound;
+        ] );
       ( "counters",
         [
           Alcotest.test_case "basic + sink" `Quick test_counters;
