@@ -93,6 +93,20 @@ let load_graph ~seed ~graph_file ~workload ~aspect =
       | None -> Experiment.make_graph ~seed workload
       | Some a -> Experiment.make_graph_with_aspect ~seed ~target_aspect:a workload)
 
+(* Long-running subcommands (daemon, serve, chaos) write JSONL
+   incrementally; on SIGINT/SIGTERM every open writer is flushed before
+   exiting so the artifacts on disk always end at a line boundary —
+   the invariant the CI strict-JSON gate checks. *)
+let install_signal_handlers () =
+  let exit_on signal code =
+    try Sys.set_signal signal (Sys.Signal_handle (fun _ ->
+        Cr_util.Jsonl.flush_all_writers ();
+        exit code))
+    with Invalid_argument _ | Sys_error _ -> ()
+  in
+  exit_on Sys.sigint 130;
+  exit_on Sys.sigterm 143
+
 let sample_pairs_exn ~seed apsp ~count =
   try Experiment.default_pairs ~seed apsp ~count
   with Compact_routing.Simulator.Sample_shortfall { requested; found } ->
@@ -447,18 +461,26 @@ let serve_cmd =
           Printf.eprintf "crt: %s\n" msg;
           exit 2
     in
+    install_signal_handlers ();
     let g = load_graph ~seed ~graph_file ~workload ~aspect in
     let apsp = Apsp.compute_parallel g in
     let wl_label =
       match graph_file with Some path -> path | None -> Experiment.workload_name workload
     in
     let schemes = List.map (fun name -> build_scheme apsp ~k ~seed name) schemes in
+    (* stream each report to disk as it is produced: an interrupted run
+       keeps every finished scheme's line intact *)
+    let writer = Option.map Cr_util.Jsonl.Writer.create json in
     let reports =
       try
         List.map
           (fun scheme ->
-            Serve.run ~cache ~dist ~policy ~chaos ~guard_label:guards ~domains ~seed:(seed + 1)
-              ~queries ~workload:wl_label apsp scheme)
+            let r =
+              Serve.run ~cache ~dist ~policy ~chaos ~guard_label:guards ~domains ~seed:(seed + 1)
+                ~queries ~workload:wl_label apsp scheme
+            in
+            Option.iter (fun w -> Cr_util.Jsonl.Writer.write w (Serve.report_to_json r)) writer;
+            r)
           schemes
       with Workload.Sample_exhausted ->
         Printf.eprintf
@@ -496,12 +518,11 @@ let serve_cmd =
           ])
       reports;
     T.print table;
-    let lines = List.map Serve.report_to_json reports in
-    match json with
-    | Some path ->
-        Cr_util.Jsonl.write_lines lines path;
-        Printf.printf "json written to %s\n" path
-    | None -> List.iter print_endline lines
+    match writer with
+    | Some w ->
+        Cr_util.Jsonl.Writer.close w;
+        Printf.printf "json written to %s\n" (Cr_util.Jsonl.Writer.path w)
+    | None -> List.iter (fun r -> print_endline (Serve.report_to_json r)) reports
   in
   Cmd.v
     (Cmd.info "serve"
@@ -542,16 +563,21 @@ let chaos_cmd =
     if domains < 1 then (
       Printf.eprintf "crt: --domains must be >= 1\n";
       exit 1);
+    install_signal_handlers ();
     let g = load_graph ~seed ~graph_file ~workload ~aspect in
     let apsp = Apsp.compute_parallel g in
     let wl_label =
       match graph_file with Some path -> path | None -> Experiment.workload_name workload
     in
     let sch = build_scheme apsp ~k ~seed scheme in
+    let writer = Option.map Cr_util.Jsonl.Writer.create json in
+    let on_cell c =
+      Option.iter (fun w -> Cr_util.Jsonl.Writer.write w (Sweep.cell_to_json c)) writer
+    in
     let cells =
       try
-        Sweep.sweep ~cache ~chaos_seed ~batch_budget_s:budget ~domains ~seed:(seed + 1) ~queries
-          ~workload:wl_label apsp sch
+        Sweep.sweep ~cache ~chaos_seed ~batch_budget_s:budget ~on_cell ~domains ~seed:(seed + 1)
+          ~queries ~workload:wl_label apsp sch
       with Workload.Sample_exhausted ->
         Printf.eprintf
           "crt: could not sample %d connected pairs; is the graph disconnected or tiny?\n"
@@ -586,12 +612,11 @@ let chaos_cmd =
           ])
       cells;
     T.print table;
-    let lines = List.map Sweep.cell_to_json cells in
-    match json with
-    | Some path ->
-        Cr_util.Jsonl.write_lines lines path;
-        Printf.printf "json written to %s\n" path
-    | None -> List.iter print_endline lines
+    match writer with
+    | Some w ->
+        Cr_util.Jsonl.Writer.close w;
+        Printf.printf "json written to %s\n" (Cr_util.Jsonl.Writer.path w)
+    | None -> List.iter (fun c -> print_endline (Sweep.cell_to_json c)) cells
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -599,6 +624,99 @@ let chaos_cmd =
     Term.(
       const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ scheme_arg
       $ queries_arg $ domains_arg $ cache_arg $ budget_arg $ chaos_seed_arg $ json_arg)
+
+(* ---------- daemon ---------- *)
+
+let daemon_cmd =
+  let module Daemon = Cr_daemon.Daemon in
+  let module Pool = Cr_util.Domain_pool in
+  let guards_arg =
+    Arg.(value & opt string "serving"
+         & info [ "guards" ] ~docv:"G" ~doc:"Guard preset: off, serving or strict.")
+  in
+  let chaos_arg =
+    Arg.(value & opt string "none"
+         & info [ "chaos" ] ~docv:"C" ~doc:"Chaos preset: none, crash, stall, flaky or storm.")
+  in
+  let budget_arg =
+    Arg.(value & opt float 0.25
+         & info [ "budget" ] ~docv:"S" ~doc:"Batch deadline budget in seconds for the strict guard preset.")
+  in
+  let chaos_seed_arg =
+    Arg.(value & opt int 42
+         & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Seed of the deterministic fault plans.")
+  in
+  let staleness_arg =
+    Arg.(value & opt int 32
+         & info [ "staleness-every" ] ~docv:"N"
+             ~doc:"Re-price every Nth answered route against the live post-mutation graph (0 disables).")
+  in
+  let journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"FILE"
+             ~doc:"Append every accepted mutation to FILE (one per line, flushed), replayable with --replay.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Apply a recorded mutation journal to the graph before serving.")
+  in
+  let events_arg =
+    Arg.(value & opt (some string) None
+         & info [ "events" ] ~docv:"FILE" ~doc:"Stream one strict-JSON repair event per line to FILE.")
+  in
+  let run seed k workload graph_file aspect guards chaos budget chaos_seed staleness journal
+      replay events =
+    install_signal_handlers ();
+    at_exit Pool.shutdown_shared;
+    let policy =
+      match Cr_guard.Policy.preset_of_string ~batch_budget_s:budget guards with
+      | Ok p -> p
+      | Error msg ->
+          Printf.eprintf "crt: %s\n" msg;
+          exit 2
+    in
+    let chaos =
+      match Cr_guard.Chaos.preset_of_string ~seed:chaos_seed chaos with
+      | Ok c -> c
+      | Error msg ->
+          Printf.eprintf "crt: %s\n" msg;
+          exit 2
+    in
+    let g = load_graph ~seed ~graph_file ~workload ~aspect in
+    let g =
+      match replay with
+      | None -> g
+      | Some path -> (
+          try Graph.apply_all g (Gio.load_mutations path) with
+          | Gio.Parse_error (line, reason) ->
+              Printf.eprintf "crt: %s: line %d: %s\n" path line reason;
+              exit 1
+          | Invalid_argument msg | Sys_error msg ->
+              Printf.eprintf "crt: replay %s: %s\n" path msg;
+              exit 1)
+    in
+    let d =
+      try
+        Daemon.create ~policy ~chaos ~staleness_every:staleness ?journal ?events
+          ~params:(Params.scaled ~k ~seed ()) g
+      with Invalid_argument msg ->
+        Printf.eprintf "crt: %s\n" msg;
+        exit 1
+    in
+    Printf.printf "ok ready n=%d m=%d k=%d guards=%s chaos=%s\n" (Graph.n g) (Graph.m g) k
+      guards (Cr_guard.Chaos.label chaos);
+    flush stdout;
+    Daemon.serve_loop d stdin stdout;
+    Daemon.close d
+  in
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:"Persistent route daemon: stream route/dist queries and live mutations over stdin/stdout; repair is incremental and never blocks serving.")
+    Term.(
+      const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ guards_arg
+      $ chaos_arg $ budget_arg $ chaos_seed_arg $ staleness_arg $ journal_arg $ replay_arg
+      $ events_arg)
 
 (* ---------- trace ---------- *)
 
@@ -749,7 +867,7 @@ let build_cmd =
 
 let () =
   let doc = "compact-routing toolbox: the AGM'06 scale-free name-independent scheme and its comparators" in
-  let main = Cmd.group (Cmd.info "crt" ~doc) [ generate_cmd; info_cmd; decompose_cmd; covers_cmd; route_cmd; eval_cmd; tables_cmd; resilience_cmd; serve_cmd; chaos_cmd; trace_cmd; build_cmd ] in
+  let main = Cmd.group (Cmd.info "crt" ~doc) [ generate_cmd; info_cmd; decompose_cmd; covers_cmd; route_cmd; eval_cmd; tables_cmd; resilience_cmd; serve_cmd; chaos_cmd; daemon_cmd; trace_cmd; build_cmd ] in
   (* CLI misuse (unknown subcommand, malformed flag, bad roster name) is
      a one-line usage error on stderr and exit 2 — never a backtrace.
      [~catch:false] so real bugs still crash loudly in CI. *)

@@ -1,0 +1,544 @@
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Dijkstra = Cr_graph.Dijkstra
+module Guard = Cr_guard
+module Jsonl = Cr_util.Jsonl
+module Stats = Cr_util.Stats
+module Counters = Cr_obs.Counters
+open Compact_routing
+
+(* The daemon serves every query from an immutable last-good [epoch]
+   while a background domain repairs the ground truth incrementally
+   after each accepted mutation.  The epoch record is swapped whole
+   under [lock] — a reader snapshots the record pointer and then works
+   lock-free on immutable data, so an answer is always internally
+   consistent (never a torn mix of old scheme and new graph). *)
+
+type epoch = {
+  id : int;
+  graph : Graph.t;
+  apsp : Apsp.t;
+  agm : Agm06.t;
+  scheme : Scheme.t;
+}
+
+type config = {
+  params : Params.t;
+  policy : Guard.Policy.t;
+  chaos : Guard.Chaos.t;
+  staleness_every : int;
+  repair_hook : (unit -> unit) option;
+}
+
+type t = {
+  cfg : config;
+  counters : Counters.t;
+  lock : Mutex.t;
+  cond : Condition.t;  (* broadcast on: mutation queued, repair done, stop *)
+  pending : Graph.mutation Queue.t;  (* accepted, not yet repaired *)
+  mutable serving : epoch;  (* last-good; swapped whole, never torn *)
+  mutable live : Graph.t;  (* every accepted mutation applied (handle thread only) *)
+  mutable repairing : bool;
+  mutable poisoned : string option;  (* repair worker died; serving continues *)
+  mutable stop : bool;
+  mutable quit : bool;
+  mutable worker : unit Domain.t option;
+  breaker : Guard.Breaker.t option;
+  mutable lineno : int;
+  mutable qindex : int;
+  mutable est_cost_s : float;  (* EWMA per-query cost, for shed feasibility *)
+  mutable repair_s : float list;  (* per-batch repair wall times *)
+  mutable stale_stretch : float list;  (* sampled live-graph stretch of answers *)
+  mutable journal : out_channel option;
+  mutable events : Jsonl.Writer.t option;
+}
+
+let est_alpha = 0.2
+
+(* ---- background repair ---------------------------------------------- *)
+
+let drain_batch t =
+  let batch = ref [] in
+  Queue.iter (fun mu -> batch := mu :: !batch) t.pending;
+  Queue.clear t.pending;
+  List.rev !batch
+
+let repair_event t ~epoch_id ~batch ~sources ~impact ~wall_s =
+  match t.events with
+  | None -> ()
+  | Some w ->
+      Jsonl.Writer.write w
+        (Jsonl.obj
+           [
+             ("event", Jsonl.str "repair");
+             ("epoch", Jsonl.int epoch_id);
+             ("mutations", Jsonl.int (List.length batch));
+             ("sources", Jsonl.int sources);
+             ("levels", Jsonl.int (List.length impact.Dirty.levels));
+             ("trees", Jsonl.int (List.length impact.Dirty.sparse_trees));
+             ("covers", Jsonl.int (List.length impact.Dirty.dense_covers));
+             ("wall_ms", Jsonl.float (1e3 *. wall_s));
+           ])
+
+let merge_impact a b =
+  Dirty.
+    {
+      sources = a.sources + b.sources;
+      levels = List.sort_uniq compare (a.levels @ b.levels);
+      sparse_trees = List.sort_uniq compare (a.sparse_trees @ b.sparse_trees);
+      dense_covers = List.sort_uniq compare (a.dense_covers @ b.dense_covers);
+    }
+
+let repair_batch t base batch =
+  (* affectedness tests are only valid against the immediately
+     preceding ground truth, so a batch is chained one mutation at a
+     time; the scheme is then rebuilt once, deterministically, from the
+     repaired ground truth — which is exactly what makes the repaired
+     epoch bit-equivalent to a from-scratch build at the final graph
+     (the repair-equivalence property test pins this). *)
+  let apsp = ref base.apsp and sources = ref 0 and impact = ref Dirty.no_impact in
+  List.iter
+    (fun mu ->
+      impact := merge_impact !impact (Dirty.assess base.agm !apsp mu);
+      let apsp', n = Apsp.repair_mutation !apsp mu in
+      apsp := apsp';
+      sources := !sources + n)
+    batch;
+  let agm = Agm06.build ~params:t.cfg.params !apsp in
+  let epoch =
+    {
+      id = base.id + 1;
+      graph = Apsp.graph !apsp;
+      apsp = !apsp;
+      agm;
+      scheme = Agm06.scheme agm;
+    }
+  in
+  (epoch, !sources, !impact)
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.pending && not t.stop do
+      Condition.wait t.cond t.lock
+    done;
+    if t.stop then (
+      Mutex.unlock t.lock;
+      ())
+    else begin
+      let batch = drain_batch t in
+      let base = t.serving in
+      t.repairing <- true;
+      Mutex.unlock t.lock;
+      (match t.cfg.repair_hook with Some hook -> hook () | None -> ());
+      let outcome =
+        let t0 = !Guard.Clock.now () in
+        match repair_batch t base batch with
+        | result -> Ok (result, !Guard.Clock.now () -. t0)
+        | exception exn -> Error (Printexc.to_string exn)
+      in
+      Mutex.lock t.lock;
+      t.repairing <- false;
+      (match outcome with
+      | Ok ((epoch, sources, impact), wall_s) ->
+          t.serving <- epoch;
+          t.repair_s <- wall_s :: t.repair_s;
+          Counters.incr t.counters "daemon.repairs";
+          Counters.add t.counters "daemon.repair.sources" sources;
+          Counters.add t.counters "daemon.repair.mutations" (List.length batch);
+          Counters.add t.counters "daemon.dirty.levels" (List.length impact.Dirty.levels);
+          Counters.add t.counters "daemon.dirty.trees"
+            (List.length impact.Dirty.sparse_trees);
+          Counters.add t.counters "daemon.dirty.covers"
+            (List.length impact.Dirty.dense_covers);
+          Counters.set t.counters "daemon.epoch" epoch.id;
+          Counters.set t.counters "daemon.backlog" (Queue.length t.pending);
+          repair_event t ~epoch_id:epoch.id ~batch ~sources ~impact ~wall_s
+      | Error msg ->
+          (* the daemon survives its repair worker: queries keep being
+             answered from the last-good epoch, sync reports the
+             poisoning instead of hanging *)
+          t.poisoned <- Some msg;
+          Counters.incr t.counters "daemon.repair.poisoned");
+      Condition.broadcast t.cond;
+      let poisoned = t.poisoned <> None in
+      Mutex.unlock t.lock;
+      if not poisoned then loop ()
+    end
+  in
+  loop ()
+
+(* ---- construction ---------------------------------------------------- *)
+
+let build_epoch ~params ~id apsp =
+  let agm = Agm06.build ~params apsp in
+  { id; graph = Apsp.graph apsp; apsp; agm; scheme = Agm06.scheme agm }
+
+let create ?(policy = Guard.Policy.serving) ?(chaos = Guard.Chaos.none) ?(staleness_every = 32)
+    ?journal ?events ?repair_hook ?counters ~params graph =
+  if staleness_every < 0 then invalid_arg "Daemon.create: staleness_every must be >= 0";
+  let counters = match counters with Some c -> c | None -> Counters.create () in
+  let apsp = Apsp.compute_parallel graph in
+  let serving = build_epoch ~params ~id:0 apsp in
+  let journal = Option.map open_out journal in
+  let events = Option.map Jsonl.Writer.create events in
+  let t =
+    {
+      cfg = { params; policy; chaos; staleness_every; repair_hook };
+      counters;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      pending = Queue.create ();
+      serving;
+      live = graph;
+      repairing = false;
+      poisoned = None;
+      stop = false;
+      quit = false;
+      worker = None;
+      breaker = Option.map Guard.Breaker.create policy.Guard.Policy.breaker;
+      lineno = 0;
+      qindex = 0;
+      est_cost_s = 0.0;
+      repair_s = [];
+      stale_stretch = [];
+      journal;
+      events;
+    }
+  in
+  Counters.set counters "daemon.epoch" 0;
+  Counters.set counters "daemon.backlog" 0;
+  t.worker <- Some (Domain.spawn (fun () -> worker_loop t));
+  t
+
+let close t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock;
+  (match t.worker with
+  | Some d ->
+      Domain.join d;
+      t.worker <- None
+  | None -> ());
+  (match t.journal with
+  | Some oc ->
+      close_out oc;
+      t.journal <- None
+  | None -> ());
+  match t.events with
+  | Some w ->
+      Jsonl.Writer.close w;
+      t.events <- None
+  | None -> ()
+
+(* ---- introspection ---------------------------------------------------- *)
+
+let epoch_id t =
+  Mutex.lock t.lock;
+  let id = t.serving.id in
+  Mutex.unlock t.lock;
+  id
+
+let backlog t =
+  Mutex.lock t.lock;
+  let d = Queue.length t.pending + if t.repairing then 1 else 0 in
+  Mutex.unlock t.lock;
+  d
+
+let live_graph t = t.live
+
+let counters t = t.counters
+
+let quitting t = t.quit
+
+let sync t =
+  Mutex.lock t.lock;
+  while t.poisoned = None && ((not (Queue.is_empty t.pending)) || t.repairing) do
+    Condition.wait t.cond t.lock
+  done;
+  let r = match t.poisoned with None -> Ok t.serving.id | Some msg -> Error msg in
+  Mutex.unlock t.lock;
+  r
+
+(* ---- query path ------------------------------------------------------- *)
+
+type answer = {
+  delivered : bool;
+  cost : float;
+  hops : int;
+  stretch : float;
+  walk : int list;
+  dist : float;
+}
+
+let measure_on ep u v =
+  (* Churn can disconnect the serving graph, and the scheme's tree
+     walks raise once the destination falls outside every structure
+     that covers the source.  A long-running daemon answers that
+     honestly as non-delivery instead of letting the exception kill
+     the session. *)
+  let r =
+    try ep.scheme.Scheme.route u v
+    with Not_found | Invalid_argument _ ->
+      { Scheme.walk = [ u ]; delivered = false; phases_used = 0 }
+  in
+  let checked =
+    Simulator.check_walk ep.graph ~src:u ~dst:v ~delivered:r.Scheme.delivered r.Scheme.walk
+  in
+  let dist = Apsp.distance ep.apsp u v in
+  let delivered = Simulator.is_delivered checked.Simulator.outcome in
+  let stretch =
+    if not delivered then infinity
+    else if dist = 0.0 then 1.0
+    else checked.Simulator.checked_cost /. dist
+  in
+  {
+    delivered;
+    cost = checked.Simulator.checked_cost;
+    hops = checked.Simulator.checked_hops;
+    stretch;
+    walk = r.Scheme.walk;
+    dist;
+  }
+
+(* Staleness: the serving epoch may lag the live (post-mutation) graph,
+   so periodically re-validate an answered walk against the live graph
+   and price it against the live shortest path.  A walk that crosses a
+   removed edge counts as broken; a valid walk contributes its live
+   stretch.  This is the measured cost of answering from the last-good
+   epoch instead of blocking on repair (EXPERIMENTS.md methodology). *)
+let sample_staleness t ~u ~v ~(ans : answer) =
+  if ans.delivered then begin
+    Counters.incr t.counters "daemon.stale.samples";
+    let checked =
+      Simulator.check_walk t.live ~src:u ~dst:v ~delivered:ans.delivered ans.walk
+    in
+    if not (Simulator.is_delivered checked.Simulator.outcome) then
+      Counters.incr t.counters "daemon.stale.broken"
+    else begin
+      let live_d = (Dijkstra.run t.live u).Dijkstra.dist.(v) in
+      let s =
+        if live_d = 0.0 then 1.0
+        else if live_d = infinity then infinity
+        else checked.Simulator.checked_cost /. live_d
+      in
+      if Float.is_finite s then t.stale_stretch <- s :: t.stale_stretch
+    end
+  end
+
+let admit t ~backlog =
+  let policy = t.cfg.policy in
+  if
+    match policy.Guard.Policy.shed with
+    | None -> false
+    | Some cfg -> Guard.Shed.decide cfg ~queued:backlog ~remaining_s:infinity ~est_cost_s:t.est_cost_s
+  then Error Guard.Rejection.Shed
+  else if match t.breaker with Some br -> not (Guard.Breaker.allow br) | None -> false then
+    Error Guard.Rejection.Breaker_open
+  else Ok ()
+
+let run_query t f =
+  (* one guarded execution: chaos stall, injected transient failures
+     under bounded retry, and the per-query deadline *)
+  let q = t.qindex in
+  t.qindex <- t.qindex + 1;
+  let chaos = t.cfg.chaos in
+  let policy = t.cfg.policy in
+  let t0 = !Guard.Clock.now () in
+  let stall = Guard.Chaos.query_stall_s chaos ~q in
+  if stall > 0.0 then begin
+    Counters.incr t.counters "daemon.chaos.stalls";
+    !Guard.Clock.sleep stall
+  end;
+  let injected = Guard.Chaos.query_fails chaos ~q in
+  let qdl = Guard.Deadline.start ?budget_s:policy.Guard.Policy.query_budget_s () in
+  let attempts = ref 0 in
+  let r =
+    Guard.Retry.run policy.Guard.Policy.retry ~key:q (fun ~attempt ->
+        incr attempts;
+        if attempt <= injected then Error Guard.Rejection.Worker_lost else Ok (f ()))
+  in
+  Counters.add t.counters "daemon.retries" (!attempts - 1);
+  let r =
+    match r with
+    | Ok _ when Guard.Deadline.expired qdl -> Error Guard.Rejection.Timed_out
+    | r -> r
+  in
+  (match t.breaker with Some br -> Guard.Breaker.record br ~ok:(Result.is_ok r) | None -> ());
+  let cost = !Guard.Clock.now () -. t0 in
+  t.est_cost_s <-
+    (if t.est_cost_s = 0.0 then cost
+     else ((1.0 -. est_alpha) *. t.est_cost_s) +. (est_alpha *. cost));
+  r
+
+let snapshot t =
+  Mutex.lock t.lock;
+  let ep = t.serving in
+  let bl = Queue.length t.pending + if t.repairing then 1 else 0 in
+  Mutex.unlock t.lock;
+  (ep, bl)
+
+let handle_query t kind u v =
+  Counters.incr t.counters "daemon.queries";
+  let ep, bl = snapshot t in
+  let n = Graph.n ep.graph in
+  let name = match kind with `Route -> "route" | `Dist -> "dist" in
+  if u < 0 || u >= n || v < 0 || v >= n then
+    Printf.sprintf "err %s %d %d: node out of range [0, %d)" name u v n
+  else begin
+    let verdict =
+      match admit t ~backlog:bl with
+      | Error r -> Error r
+      | Ok () -> run_query t (fun () -> measure_on ep u v)
+    in
+    match verdict with
+    | Error rej ->
+        Counters.incr t.counters (Guard.Rejection.counter rej);
+        Printf.sprintf "err %s %d %d rejected=%s epoch=%d" name u v
+          (Guard.Rejection.to_string rej) ep.id
+    | Ok ans -> (
+        match kind with
+        | `Route ->
+            Counters.incr t.counters "daemon.routes";
+            if t.cfg.staleness_every > 0 && t.qindex mod t.cfg.staleness_every = 0 then
+              sample_staleness t ~u ~v ~ans;
+            Printf.sprintf "ok route %d %d delivered=%b hops=%d cost=%.6g stretch=%.6g epoch=%d"
+              u v ans.delivered ans.hops ans.cost ans.stretch ep.id
+        | `Dist ->
+            Counters.incr t.counters "daemon.dists";
+            Printf.sprintf "ok dist %d %d %.17g epoch=%d" u v ans.dist ep.id)
+  end
+
+(* ---- mutation path ---------------------------------------------------- *)
+
+let normalized_floor = 1.0 -. 1e-9
+
+let accept_mutation t mu =
+  Counters.incr t.counters "daemon.mutations";
+  let weight_ok =
+    (* the serving scheme requires a normalized graph (min edge weight
+       1), so churn must not sneak weights below it *)
+    match mu with
+    | Graph.Set_weight (_, _, w) | Graph.Link_up (_, _, w) -> w >= normalized_floor
+    | Graph.Link_down _ | Graph.Node_down _ | Graph.Node_up _ -> true
+  in
+  if not weight_ok then begin
+    Counters.incr t.counters "daemon.mutations.rejected";
+    Printf.sprintf "err mutate %s: weight must be >= 1 (the scheme serves a normalized graph)"
+      (Graph.mutation_to_string mu)
+  end
+  else
+    match Graph.apply t.live mu with
+    | live ->
+        t.live <- live;
+        (match t.journal with
+        | Some oc ->
+            output_string oc (Graph.mutation_to_string mu ^ "\n");
+            flush oc
+        | None -> ());
+        Mutex.lock t.lock;
+        Queue.push mu t.pending;
+        let bl = Queue.length t.pending + if t.repairing then 1 else 0 in
+        Counters.set t.counters "daemon.backlog" bl;
+        Condition.broadcast t.cond;
+        Mutex.unlock t.lock;
+        Printf.sprintf "ok mutate %s backlog=%d" (Graph.mutation_to_string mu) bl
+    | exception Invalid_argument msg ->
+        Counters.incr t.counters "daemon.mutations.rejected";
+        Printf.sprintf "err mutate %s: %s" (Graph.mutation_to_string mu) msg
+
+(* ---- stats ------------------------------------------------------------ *)
+
+let percentiles xs =
+  match xs with
+  | [] -> (0.0, 0.0, 0.0)
+  | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      (Stats.percentile a 0.5, Stats.percentile a 0.95, Stats.percentile a 0.99)
+
+let stats_json t =
+  let ep, bl = snapshot t in
+  Mutex.lock t.lock;
+  let repair_s = t.repair_s and stale = t.stale_stretch in
+  let poisoned = t.poisoned and repairing = t.repairing in
+  Mutex.unlock t.lock;
+  let rp50, rp95, rp99 = percentiles repair_s in
+  let sp50, sp95, sp99 = percentiles stale in
+  let c name = Counters.get t.counters name in
+  Jsonl.obj
+    [
+      ("epoch", Jsonl.int ep.id);
+      ("backlog", Jsonl.int bl);
+      ("repairing", Jsonl.bool repairing);
+      ("poisoned", match poisoned with None -> "null" | Some m -> Jsonl.str m);
+      ("n", Jsonl.int (Graph.n ep.graph));
+      ("m_epoch", Jsonl.int (Graph.m ep.graph));
+      ("m_live", Jsonl.int (Graph.m t.live));
+      ("queries", Jsonl.int (c "daemon.queries"));
+      ("routes", Jsonl.int (c "daemon.routes"));
+      ("dists", Jsonl.int (c "daemon.dists"));
+      ("mutations", Jsonl.int (c "daemon.mutations"));
+      ("mutations_rejected", Jsonl.int (c "daemon.mutations.rejected"));
+      ("repairs", Jsonl.int (c "daemon.repairs"));
+      ("repair_sources", Jsonl.int (c "daemon.repair.sources"));
+      ("repair_ms_p50", Jsonl.float (1e3 *. rp50));
+      ("repair_ms_p95", Jsonl.float (1e3 *. rp95));
+      ("repair_ms_p99", Jsonl.float (1e3 *. rp99));
+      ("timed_out", Jsonl.int (c "guard.timeouts"));
+      ("shed", Jsonl.int (c "guard.sheds"));
+      ("breaker_open", Jsonl.int (c "guard.breaker_opens"));
+      ("worker_lost", Jsonl.int (c "guard.worker_lost"));
+      ("retries", Jsonl.int (c "daemon.retries"));
+      ("stale_samples", Jsonl.int (c "daemon.stale.samples"));
+      ("stale_broken", Jsonl.int (c "daemon.stale.broken"));
+      ("stale_stretch_p50", Jsonl.float sp50);
+      ("stale_stretch_p95", Jsonl.float sp95);
+      ("stale_stretch_p99", Jsonl.float sp99);
+    ]
+
+(* ---- the protocol surface --------------------------------------------- *)
+
+let handle t line =
+  t.lineno <- t.lineno + 1;
+  match Protocol.parse ~lineno:t.lineno line with
+  | Ok None -> []
+  | Error msg ->
+      Counters.incr t.counters "daemon.parse_errors";
+      [ "err " ^ msg ]
+  | Ok (Some cmd) -> (
+      match cmd with
+      | Protocol.Route (u, v) -> [ handle_query t `Route u v ]
+      | Protocol.Dist (u, v) -> [ handle_query t `Dist u v ]
+      | Protocol.Mutate mu -> [ accept_mutation t mu ]
+      | Protocol.Sync -> (
+          match sync t with
+          | Ok id -> [ Printf.sprintf "ok sync epoch=%d backlog=0" id ]
+          | Error msg -> [ Printf.sprintf "err sync repair poisoned: %s" msg ])
+      | Protocol.Stats -> [ "ok stats " ^ stats_json t ]
+      | Protocol.Epoch ->
+          let ep, bl = snapshot t in
+          [ Printf.sprintf "ok epoch %d backlog=%d" ep.id bl ]
+      | Protocol.Help ->
+          List.map (fun (spell, doc) -> Printf.sprintf "ok help %s -- %s" spell doc)
+            Protocol.grammar
+      | Protocol.Quit ->
+          t.quit <- true;
+          [ "ok bye" ])
+
+let serve_loop t ic oc =
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | line ->
+        let responses = handle t line in
+        List.iter
+          (fun r ->
+            output_string oc r;
+            output_char oc '\n')
+          responses;
+        flush oc;
+        if not t.quit then loop ()
+  in
+  loop ()

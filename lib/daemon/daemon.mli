@@ -1,0 +1,96 @@
+(** Long-running route daemon: online churn with incremental
+    self-healing repair.
+
+    The daemon answers [route]/[dist] queries from an immutable
+    last-good {e epoch} — a [(graph, ground truth, scheme)] triple
+    swapped whole under a mutex, never torn — while accepted mutations
+    queue for a background repair domain.  Repair is incremental at the
+    ground-truth layer ({!Cr_graph.Apsp.repair_mutation} recomputes
+    only dirty sources, chained one mutation at a time) and
+    deterministic at the scheme layer (a rebuild over the repaired
+    ground truth, bit-equivalent to a from-scratch build at the final
+    graph — DESIGN.md §9).  Queries are never blocked by repair: they
+    are admitted through the guard stack (shed on repair backlog,
+    breaker, per-query deadline, bounded retry under chaos injection)
+    and answered from the serving epoch, with the resulting staleness
+    measured rather than hidden (answers are periodically re-priced
+    against the live post-mutation graph).
+
+    Thread model: {!handle} is called from one client thread; the
+    repair worker is one background domain.  If the worker dies, the
+    daemon is {e poisoned}: queries keep being served from the
+    last-good epoch and [sync] reports the failure instead of
+    hanging. *)
+
+type t
+
+type config = {
+  params : Compact_routing.Params.t;
+  policy : Cr_guard.Policy.t;
+  chaos : Cr_guard.Chaos.t;
+  staleness_every : int;
+  repair_hook : (unit -> unit) option;
+}
+
+val create :
+  ?policy:Cr_guard.Policy.t ->
+  ?chaos:Cr_guard.Chaos.t ->
+  ?staleness_every:int ->
+  ?journal:string ->
+  ?events:string ->
+  ?repair_hook:(unit -> unit) ->
+  ?counters:Cr_obs.Counters.t ->
+  params:Compact_routing.Params.t ->
+  Cr_graph.Graph.t ->
+  t
+(** Builds epoch 0 (parallel APSP + AGM06 scheme) over the graph — which
+    must be normalized, as {!Compact_routing.Agm06.build} requires — and
+    spawns the repair domain.  [policy] defaults to
+    [Cr_guard.Policy.serving], [chaos] to none.  [staleness_every]
+    samples every Nth route answer against the live graph (0 disables;
+    default 32).  [journal] appends every accepted mutation to a file in
+    the {!Cr_graph.Gio} mutation-log format, flushed per line, so a
+    crashed session replays exactly.  [events] streams one strict-JSON
+    repair event per batch through {!Cr_util.Jsonl.Writer}.
+    [repair_hook] is a test seam: the repair worker calls it after
+    claiming a batch and before the epoch swap, so a test can prove
+    queries are answered mid-repair.
+    @raise Invalid_argument on a negative [staleness_every] or an
+    unnormalized graph. *)
+
+val handle : t -> string -> string list
+(** Processes one protocol line, returning the response lines (each
+    starting [ok ] or [err ]; empty for blanks and comments).  Counts
+    input lines internally so parse errors carry the session's 1-based
+    line number. *)
+
+val quitting : t -> bool
+(** Set once a [quit] command was handled. *)
+
+val serve_loop : t -> in_channel -> out_channel -> unit
+(** Reads lines until EOF or [quit], writing and flushing responses —
+    the whole transport of [crt daemon].  Call {!close} afterwards. *)
+
+val sync : t -> (int, string) result
+(** Blocks until every queued mutation is repaired; [Ok epoch_id], or
+    [Error msg] if the repair worker is poisoned. *)
+
+val epoch_id : t -> int
+
+val backlog : t -> int
+(** Queued mutations plus the batch currently being repaired. *)
+
+val live_graph : t -> Cr_graph.Graph.t
+(** The graph with every accepted mutation applied (what repair is
+    converging to). *)
+
+val counters : t -> Cr_obs.Counters.t
+(** The [daemon.*] / [guard.*] counters. *)
+
+val stats_json : t -> string
+(** One strict-JSON object: epoch, backlog, query/mutation/repair
+    totals, repair latency percentiles and staleness measurements. *)
+
+val close : t -> unit
+(** Stops and joins the repair worker and closes the journal and event
+    writers.  Safe to call once the serve loop has returned. *)

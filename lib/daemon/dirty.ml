@@ -1,0 +1,42 @@
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+open Compact_routing
+
+type impact = {
+  sources : int;
+  levels : int list;
+  sparse_trees : int list;
+  dense_covers : int list;
+}
+
+let no_impact = { sources = 0; levels = []; sparse_trees = []; dense_covers = [] }
+
+let sorted_elements set = List.sort_uniq compare set
+
+let assess agm apsp mu =
+  let dirty = Apsp.dirty_sources apsp mu in
+  let k = (Agm06.params agm).Params.k in
+  let levels = ref [] and trees = ref [] and covers = ref [] in
+  Array.iteri
+    (fun s is_dirty ->
+      if is_dirty then
+        for i = 0 to k - 1 do
+          match Agm06.phase_plan agm s i with
+          | `Sparse (center, _bound) ->
+              levels := i :: !levels;
+              trees := center :: !trees
+          | `Dense (level, _root) ->
+              levels := i :: !levels;
+              covers := level :: !covers
+        done)
+    dirty;
+  {
+    sources = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dirty;
+    levels = sorted_elements !levels;
+    sparse_trees = sorted_elements !trees;
+    dense_covers = sorted_elements !covers;
+  }
+
+let to_string i =
+  Printf.sprintf "sources=%d levels=%d trees=%d covers=%d" i.sources (List.length i.levels)
+    (List.length i.sparse_trees) (List.length i.dense_covers)

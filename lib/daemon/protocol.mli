@@ -1,0 +1,29 @@
+(** The daemon's line-oriented text protocol.
+
+    One command per input line, one or more response lines per command;
+    every response line starts with [ok] or [err], so scripted sessions
+    (CI's smoke test, the quickstart in README.md) can assert outcomes
+    with grep.  Blank lines and ['#'] comments are ignored.  Mutation
+    keywords share their grammar with the journal format
+    ({!Cr_graph.Gio.mutation_of_tokens}), so a recorded session replays
+    byte-for-byte. *)
+
+type command =
+  | Route of int * int  (** [route u v] *)
+  | Dist of int * int  (** [dist u v] *)
+  | Mutate of Cr_graph.Graph.mutation
+      (** [setw u v w] / [linkdown u v] / [linkup u v w] /
+          [nodedown u] / [nodeup u] *)
+  | Sync  (** block until the repair backlog drains *)
+  | Stats  (** one strict-JSON metrics line *)
+  | Epoch  (** serving epoch id and backlog depth *)
+  | Help
+  | Quit
+
+val grammar : (string * string) list
+(** [(spelling, description)] for every command, for [help] output. *)
+
+val parse : lineno:int -> string -> (command option, string) result
+(** Parses one input line.  [Ok None] for blanks and comments;
+    [Error msg] carries the 1-based line number of the offending
+    line, e.g. ["line 12: unknown command \"foo\" (try help)"]. *)

@@ -69,16 +69,20 @@ let run_cell ?(cache = 0) ?(dist = Workload.Zipf 1.1) ~domains ~seed ~queries ~w
   in
   cell_of_report ~within_budget r
 
-let sweep ?cache ?dist ?(chaos_seed = 42) ?(batch_budget_s = 0.25) ~domains ~seed ~queries
-    ~workload apsp scheme =
+let sweep ?cache ?dist ?(chaos_seed = 42) ?(batch_budget_s = 0.25) ?(on_cell = fun _ -> ())
+    ~domains ~seed ~queries ~workload apsp scheme =
   let chaoses = Guard.Chaos.presets ~seed:chaos_seed in
   let policies = Guard.Policy.presets ~batch_budget_s in
   List.concat_map
     (fun (_, chaos) ->
       List.map
         (fun (glabel, policy) ->
-          run_cell ?cache ?dist ~domains ~seed ~queries ~workload ~guard_label:glabel policy
-            chaos apsp scheme)
+          let cell =
+            run_cell ?cache ?dist ~domains ~seed ~queries ~workload ~guard_label:glabel policy
+              chaos apsp scheme
+          in
+          on_cell cell;
+          cell)
         policies)
     chaoses
 

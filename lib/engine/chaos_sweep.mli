@@ -56,6 +56,7 @@ val sweep :
   ?dist:Workload.dist ->
   ?chaos_seed:int ->
   ?batch_budget_s:float ->
+  ?on_cell:(cell -> unit) ->
   domains:int ->
   seed:int ->
   queries:int ->
@@ -66,9 +67,11 @@ val sweep :
 (** The full grid: {!Cr_guard.Chaos.presets} (outer) crossed with
     {!Cr_guard.Policy.presets} (inner).  [chaos_seed] (default 42)
     seeds the fault plans; [batch_budget_s] (default 0.25) is the
-    strict preset's batch budget.  The workload itself depends only on
-    [(dist, seed, queries)], so the "none"/"off" cell reproduces the
-    plain serve. *)
+    strict preset's batch budget.  [on_cell] fires as each cell
+    completes, so callers can stream results to disk and an
+    interrupted grid still leaves every finished cell on a complete
+    line.  The workload itself depends only on [(dist, seed,
+    queries)], so the "none"/"off" cell reproduces the plain serve. *)
 
 val cell_to_json : cell -> string
 (** One JSON object per cell (single line, no trailing newline). *)

@@ -31,6 +31,120 @@ let graph t = t.graph
 
 let distance t u v = t.results.(u).dist.(v)
 
+(* ---- incremental repair -----------------------------------------------
+
+   Under churn, most single-edge mutations leave most sources' shortest
+   paths untouched; recomputing only the affected sources is what makes
+   the daemon's repair incremental.  The affectedness tests are sound
+   over-approximations, and they are exact enough to preserve not just
+   distances but the whole deterministic Dijkstra result:
+
+   - parents: the heap's strict (priority, element) total order makes
+     the Dijkstra settle order — and so the parent tree — a pure
+     function of graph and source.  For a clean source the mutated edge
+     is strictly non-tight before and after (ties are marked dirty: the
+     tests below use [<=], not [<]), so it only ever inserted nodes at
+     worse-than-final priorities; removing, adding, or reweighting it
+     never changes which node is the current heap minimum, and the
+     parent array is bit-identical too.
+   - ports: adjacency-changing mutations shift port numbers even for
+     clean sources, so [repair] refreshes [parent_port] against the new
+     graph when [structural] (a clean source's parent edges survive by
+     construction — a removed edge is never tight for a clean source).
+
+   The repair-equivalence property test (test_daemon) pins all of this
+   against from-scratch recomputation. *)
+
+let dirty_sources t mu =
+  let n = Graph.n t.graph in
+  let dirty = Array.make n false in
+  let mark_improving u v w =
+    (* sources for which the edge (u,v,w) would relax or tie; a source
+       reaching neither endpoint cannot be affected (inf = inf must not
+       mark every disconnected source) *)
+    for s = 0 to n - 1 do
+      let du = t.results.(s).dist.(u) and dv = t.results.(s).dist.(v) in
+      if (du < infinity || dv < infinity) && (du +. w <= dv || dv +. w <= du) then
+        dirty.(s) <- true
+    done
+  in
+  let mark_tight u v w =
+    (* sources whose shortest-path structure may use the edge (u,v,w) *)
+    for s = 0 to n - 1 do
+      let du = t.results.(s).dist.(u) and dv = t.results.(s).dist.(v) in
+      if (du < infinity || dv < infinity) && (du +. w = dv || dv +. w = du) then
+        dirty.(s) <- true
+    done
+  in
+  (match mu with
+  | Graph.Set_weight (u, v, w_new) ->
+      (match Graph.edge_weight t.graph u v with
+      | Some w_old ->
+          mark_tight u v w_old;
+          mark_improving u v w_new
+      | None -> invalid_arg "Apsp.dirty_sources: setw on missing edge")
+  | Graph.Link_down (u, v) -> (
+      match Graph.edge_weight t.graph u v with
+      | Some w_old -> mark_tight u v w_old
+      | None -> invalid_arg "Apsp.dirty_sources: linkdown on missing edge")
+  | Graph.Link_up (u, v, w) -> mark_improving u v w
+  | Graph.Node_down u ->
+      (* every source that reaches the node loses those paths *)
+      for s = 0 to n - 1 do
+        if t.results.(s).dist.(u) < infinity then dirty.(s) <- true
+      done;
+      dirty.(u) <- true
+  | Graph.Node_up _ -> ());
+  dirty
+
+let repair t g' ~dirty ~structural =
+  let n = Graph.n t.graph in
+  if Graph.n g' <> n then invalid_arg "Apsp.repair: node count changed";
+  if Array.length dirty <> n then invalid_arg "Apsp.repair: dirty array length mismatch";
+  if n = 0 then { graph = g'; results = [||]; balls = [||] }
+  else begin
+    let refresh_ports (r : Dijkstra.result) =
+      if not structural then r
+      else begin
+        let parent_port =
+          Array.mapi
+            (fun x p ->
+              if p < 0 then -1
+              else
+                match Graph.port g' x p with
+                | Some port -> port
+                | None ->
+                    (* a clean source's parent edges always survive the
+                       mutation; reaching here means the dirty test
+                       under-approximated — fail loudly *)
+                    invalid_arg "Apsp.repair: clean source lost a parent edge")
+            r.Dijkstra.parent
+        in
+        { r with Dijkstra.parent_port }
+      end
+    in
+    let results = Array.make n t.results.(0) in
+    let todo = ref [] in
+    for s = n - 1 downto 0 do
+      if dirty.(s) then todo := s :: !todo else results.(s) <- refresh_ports t.results.(s)
+    done;
+    let todo = Array.of_list !todo in
+    let nd = Array.length todo in
+    let module Pool = Cr_util.Domain_pool in
+    if nd < 2 * Pool.default_domains () then
+      Array.iter (fun s -> results.(s) <- Dijkstra.run g' s) todo
+    else
+      Pool.parallel_for ~chunk:4 (Pool.shared ()) ~n:nd (fun i ->
+          results.(todo.(i)) <- Dijkstra.run g' todo.(i));
+    { graph = g'; results; balls = Array.make n None }
+  end
+
+let repair_mutation t mu =
+  let g' = Graph.apply t.graph mu in
+  let dirty = dirty_sources t mu in
+  let count = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 dirty in
+  (repair t g' ~dirty ~structural:(Graph.structural mu), count)
+
 let sssp t u = t.results.(u)
 
 let ball t u =

@@ -25,6 +25,42 @@ val graph : t -> Graph.t
 val distance : t -> int -> int -> float
 (** d(u, v); [infinity] if disconnected. *)
 
+val dirty_sources : t -> Graph.mutation -> bool array
+(** Which sources' single-source results a mutation can change —
+    evaluated against [t] (the ground truth {e before} the mutation).
+    A sound over-approximation that is tie-exact: a source left
+    unmarked provably keeps its distances {e and} its deterministic
+    parent array, so {!repair} may share its result wholesale.  For an
+    edge mutation this is the set of sources for which the edge is
+    tight (deletions/increases) or would relax or tie
+    (insertions/decreases); for [Node_down] it is every source that
+    reaches the node.
+    @raise Invalid_argument if the mutation does not apply to [t]'s
+    graph. *)
+
+val repair : t -> Graph.t -> dirty:bool array -> structural:bool -> t
+(** [repair t g' ~dirty ~structural] is the incremental ground-truth
+    update: a fresh APSP over [g'] (the graph {e after} the mutation)
+    that re-runs Dijkstra only for [dirty] sources — in parallel on the
+    shared pool when there are enough — and shares every clean source's
+    result from [t].  With [structural] set (adjacency changed), clean
+    sources get their [parent_port] arrays re-derived against [g'],
+    since port numbers shift even where paths do not.  The result is
+    bit-identical to [compute g'] when [dirty] over-approximates
+    honestly (pinned by the repair-equivalence property test).
+    @raise Invalid_argument on node-count or length mismatch, or if a
+    supposedly clean source lost a parent edge (an under-approximating
+    [dirty]). *)
+
+val repair_mutation : t -> Graph.mutation -> t * int
+(** Applies one mutation end to end:
+    [Graph.apply] + {!dirty_sources} + {!repair}, returning the
+    repaired ground truth and the number of recomputed sources.
+    Chained per mutation by the daemon's repair worker (affectedness
+    tests are only valid against the immediately preceding ground
+    truth, so batches must be folded one mutation at a time).
+    @raise Invalid_argument as {!Graph.apply}. *)
+
 val sssp : t -> int -> Dijkstra.result
 (** The stored single-source result for a node. *)
 

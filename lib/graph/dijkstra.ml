@@ -23,7 +23,11 @@ let run_general g ~allowed ~max_edge ~bound s =
       (* No equal-distance parent rewriting: with extreme aspect ratios,
          floating-point rounding can make [du +. w = du], and a
          lexicographic tie-break would then create parent cycles.  The
-         heap order is already deterministic, so the tree is too. *)
+         heap's strict (priority, element) total order already makes the
+         settle order — and so the tree — a pure function of the graph
+         and source, independent of relaxation history; [Apsp.repair]
+         relies on that to share clean sources' results bit-identically
+         across mutations that cannot affect them. *)
       let relax (v, w) =
         if allowed v && w <= max_edge && not settled.(v) then begin
           let dv = du +. w in

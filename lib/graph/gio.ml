@@ -85,6 +85,68 @@ let of_string s =
   try Graph.create ~names:name_arr ~n edge_list
   with Invalid_argument msg -> raise (Parse_error (0, msg))
 
+(* ---- mutation logs ----------------------------------------------------
+
+   The daemon's append-only churn journal shares this module's
+   line-oriented discipline: one mutation per line in the spelling of
+   [Graph.mutation_to_string], '#' comments and blank lines allowed,
+   and every malformed record is a [Parse_error] carrying its 1-based
+   line number, so a corrupt journal names the exact line that broke
+   replay.  The grammar is shared with the daemon protocol: the
+   protocol parser feeds its mutation keywords through
+   [mutation_of_tokens] with the session's input line number. *)
+
+let mutation_of_tokens ~lineno tokens =
+  let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error (lineno, msg))) fmt in
+  let parse_int what tok =
+    match int_of_string_opt tok with
+    | Some v -> v
+    | None -> fail "malformed %s %S (expected an integer)" what tok
+  in
+  let parse_weight tok =
+    match float_of_string_opt tok with
+    | Some w when Float.is_finite w && w > 0.0 -> w
+    | Some w -> fail "mutation weight %g must be positive and finite" w
+    | None -> fail "malformed weight %S (expected a number)" tok
+  in
+  match tokens with
+  | [ "setw"; su; sv; sw ] ->
+      Graph.Set_weight (parse_int "endpoint" su, parse_int "endpoint" sv, parse_weight sw)
+  | [ "linkdown"; su; sv ] -> Graph.Link_down (parse_int "endpoint" su, parse_int "endpoint" sv)
+  | [ "linkup"; su; sv; sw ] ->
+      Graph.Link_up (parse_int "endpoint" su, parse_int "endpoint" sv, parse_weight sw)
+  | [ "nodedown"; su ] -> Graph.Node_down (parse_int "node" su)
+  | [ "nodeup"; su ] -> Graph.Node_up (parse_int "node" su)
+  | ("setw" | "linkdown" | "linkup" | "nodedown" | "nodeup") :: _ as toks ->
+      fail "wrong number of fields for %S record" (List.hd toks)
+  | tok :: _ -> fail "unrecognized mutation %S" tok
+  | [] -> fail "empty mutation record"
+
+let mutation_of_string ?(lineno = 1) line =
+  let tokens = String.split_on_char ' ' (String.trim line) |> List.filter (fun t -> t <> "") in
+  mutation_of_tokens ~lineno tokens
+
+let mutations_of_string s =
+  let acc = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then acc := mutation_of_string ~lineno line :: !acc)
+    (String.split_on_char '\n' s);
+  List.rev !acc
+
+let mutations_to_string mus =
+  String.concat "" (List.map (fun m -> Graph.mutation_to_string m ^ "\n") mus)
+
+let load_mutations path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      mutations_of_string (really_input_string ic len))
+
 let save g path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))

@@ -164,6 +164,87 @@ let induced g nodes =
   let names = Array.map (fun u -> g.names.(u)) nodes in
   (create ~names ~n:k !edges, nodes)
 
+(* ---- online mutations -------------------------------------------------
+
+   The churn vocabulary of the route daemon: weight changes, link
+   up/down, node crash/recover.  Mutations are persistent — [apply]
+   returns a fresh graph and never touches the input — so a serving
+   epoch can keep routing from the old graph while repair works on the
+   new one.  [Set_weight] preserves the adjacency structure exactly
+   (same neighbor order, hence same port numbers); the structural
+   mutations rebuild through [create], which re-sorts adjacencies the
+   same deterministic way the original construction did. *)
+
+type mutation =
+  | Set_weight of int * int * float
+  | Link_down of int * int
+  | Link_up of int * int * float
+  | Node_down of int
+  | Node_up of int
+
+let structural = function
+  | Set_weight _ | Node_up _ -> false
+  | Link_down _ | Link_up _ | Node_down _ -> true
+
+let mutation_to_string = function
+  | Set_weight (u, v, w) -> Printf.sprintf "setw %d %d %.17g" u v w
+  | Link_down (u, v) -> Printf.sprintf "linkdown %d %d" u v
+  | Link_up (u, v, w) -> Printf.sprintf "linkup %d %d %.17g" u v w
+  | Node_down u -> Printf.sprintf "nodedown %d" u
+  | Node_up u -> Printf.sprintf "nodeup %d" u
+
+let apply g mu =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let check_node what u =
+    if u < 0 || u >= g.n then fail "Graph.apply: %s %d out of range [0, %d)" what u g.n
+  in
+  let check_weight w =
+    if not (Float.is_finite w && w > 0.0) then
+      fail "Graph.apply: weight %g must be positive and finite" w
+  in
+  match mu with
+  | Set_weight (u, v, w) ->
+      check_node "endpoint" u;
+      check_node "endpoint" v;
+      check_weight w;
+      if find_port g u v = None then fail "Graph.apply: setw on missing edge (%d, %d)" u v;
+      (* weight-only change: copy the adjacency, patch both directed
+         entries in place — ports are untouched by construction *)
+      let adj = Array.map Array.copy g.adj in
+      let patch x y =
+        match find_port g x y with
+        | Some p -> adj.(x).(p) <- (y, w)
+        | None -> assert false
+      in
+      patch u v;
+      patch v u;
+      { g with adj }
+  | Link_down (u, v) ->
+      check_node "endpoint" u;
+      check_node "endpoint" v;
+      if find_port g u v = None then fail "Graph.apply: linkdown on missing edge (%d, %d)" u v;
+      let es = List.filter (fun (a, b, _) -> not ((a = u && b = v) || (a = v && b = u))) (edges g) in
+      create ~names:(Array.copy g.names) ~n:g.n es
+  | Link_up (u, v, w) ->
+      check_node "endpoint" u;
+      check_node "endpoint" v;
+      if u = v then fail "Graph.apply: linkup self-loop at node %d" u;
+      check_weight w;
+      if find_port g u v <> None then fail "Graph.apply: linkup on existing edge (%d, %d)" u v;
+      create ~names:(Array.copy g.names) ~n:g.n ((u, v, w) :: edges g)
+  | Node_down u ->
+      check_node "node" u;
+      let es = List.filter (fun (a, b, _) -> a <> u && b <> u) (edges g) in
+      create ~names:(Array.copy g.names) ~n:g.n es
+  | Node_up u ->
+      (* recovery restores the node as an isolated participant; its
+         links come back through explicit linkups (real churn: a
+         rebooted router renegotiates each adjacency) *)
+      check_node "node" u;
+      g
+
+let apply_all g mus = List.fold_left apply g mus
+
 let relabel rng g =
   (* Random distinct identifiers drawn from a space 16x larger than n,
      so names carry no topological information. *)

@@ -85,6 +85,43 @@ val induced : t -> int array -> t * int array
     corresponds to [nodes.(i)], and inherits its name) and the [nodes]
     array itself as the index map back to [g]. *)
 
+(** {2 Online mutations}
+
+    The churn vocabulary of the route daemon ([Cr_daemon]).  Mutations
+    are persistent: {!apply} returns a fresh graph and never touches
+    its input, so a serving epoch keeps routing from the old graph
+    while repair rebuilds over the new one. *)
+
+type mutation =
+  | Set_weight of int * int * float
+      (** reweight an existing edge (adjacency — and therefore every
+          port number — is preserved exactly) *)
+  | Link_down of int * int  (** remove an existing edge *)
+  | Link_up of int * int * float  (** insert a missing edge *)
+  | Node_down of int  (** crash: remove every incident edge *)
+  | Node_up of int
+      (** recover: the node returns isolated; links are re-established
+          by explicit [Link_up]s (structurally a no-op) *)
+
+val structural : mutation -> bool
+(** Whether the mutation changes adjacency (and thus shifts port
+    numbers): true for link/node topology changes, false for
+    [Set_weight] and [Node_up]. *)
+
+val mutation_to_string : mutation -> string
+(** The mutation-log / daemon-protocol spelling ([setw u v w],
+    [linkdown u v], [linkup u v w], [nodedown u], [nodeup u]); parsed
+    back by [Gio.mutation_of_tokens]. *)
+
+val apply : t -> mutation -> t
+(** Applies one mutation, validating it against the current graph
+    (range checks, positive finite weights, edge existence for [setw]
+    and [linkdown], absence for [linkup]).
+    @raise Invalid_argument on an inapplicable mutation. *)
+
+val apply_all : t -> mutation list -> t
+(** Left fold of {!apply}. *)
+
 val relabel : Cr_util.Rng.t -> t -> t
 (** Assigns fresh uniformly random distinct identifiers to all nodes —
     the adversarial arbitrary naming of the name-independent model. *)

@@ -24,10 +24,18 @@ let swap h i j =
   h.pos.(ej) <- i;
   h.pos.(ei) <- j
 
+(* Strict total order: priority, then element index.  Equal priorities
+   are common in Dijkstra (unit-ish weights); breaking those ties by
+   element makes [pop_min] return the unique minimum of the current
+   contents no matter what insertion order shaped the layout, so the
+   pop sequence is a pure function of what was inserted — the property
+   [Apsp.repair] needs to share untouched sources across mutations. *)
+let lt h i j = h.prio.(i) < h.prio.(j) || (h.prio.(i) = h.prio.(j) && h.elts.(i) < h.elts.(j))
+
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.prio.(i) < h.prio.(parent) then begin
+    if lt h i parent then begin
       swap h i parent;
       sift_up h parent
     end
@@ -36,8 +44,8 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.size && h.prio.(l) < h.prio.(!smallest) then smallest := l;
-  if r < h.size && h.prio.(r) < h.prio.(!smallest) then smallest := r;
+  if l < h.size && lt h l !smallest then smallest := l;
+  if r < h.size && lt h r !smallest then smallest := r;
   if !smallest <> i then begin
     swap h i !smallest;
     sift_down h !smallest

@@ -30,7 +30,10 @@ val insert_or_decrease : t -> int -> float -> unit
     smaller; otherwise does nothing. *)
 
 val pop_min : t -> int * float
-(** Removes and returns the minimum-priority element.
+(** Removes and returns the minimum element under the strict
+    (priority, element) order — priority ties break toward the smaller
+    element index, so the pop order is a pure function of the inserted
+    contents, independent of insertion order.
     @raise Not_found on an empty heap. *)
 
 val priority : t -> int -> float

@@ -1,9 +1,21 @@
 (* The guard clock: one process-wide swappable time source shared by
    Deadline and Breaker, the same idiom as Cr_obs.Profile.clock.  Tests
    install a fake clock to drive deadline expiry and breaker cooldowns
-   deterministically; production leaves the Unix default in place. *)
+   deterministically.
 
-let now : (unit -> float) ref = ref Unix.gettimeofday
+   The production default is CLOCK_MONOTONIC (via bechamel's stub), not
+   the wall clock: deadlines and breaker cooldowns only ever subtract
+   two readings, and in a daemon that runs for hours a wall-clock step
+   (NTP slew, manual reset, leap smearing) would expire every in-flight
+   budget at once — or worse, push expiry arbitrarily far out.  A
+   monotonic source cannot go backwards and is immune to steps, so
+   elapsed time is always truthful.  The origin is arbitrary (boot
+   time), which is fine: nothing in the guard stack needs an absolute
+   epoch. *)
+
+let monotonic () = 1e-9 *. Int64.to_float (Monotonic_clock.now ())
+
+let now : (unit -> float) ref = ref monotonic
 
 (* Sleeping is also swappable so retry backoff never blocks a test. *)
 let sleep : (float -> unit) ref = ref (fun s -> if s > 0.0 then Unix.sleepf s)
@@ -13,7 +25,7 @@ let with_fake f =
   let t = ref 0.0 in
   now := (fun () -> !t);
   (* a fake sleep advances fake time, so backoff interacts with
-     deadlines exactly as it would on a wall clock *)
+     deadlines exactly as it would on a real clock *)
   sleep := (fun s -> if s > 0.0 then t := !t +. s);
   Fun.protect
     ~finally:(fun () ->

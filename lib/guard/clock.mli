@@ -2,12 +2,19 @@
 
     One process-wide swappable clock shared by {!Deadline} budgets and
     {!Breaker} cooldowns — the [Cr_obs.Profile.clock] idiom.  Defaults
-    to [Unix.gettimeofday]; tests swap in a fake to drive expiry and
-    cooldown transitions deterministically. *)
+    to {!monotonic}; tests swap in a fake to drive expiry and cooldown
+    transitions deterministically. *)
+
+val monotonic : unit -> float
+(** Seconds on CLOCK_MONOTONIC (arbitrary origin).  Never goes
+    backwards and is immune to wall-clock steps and NTP slew, so a
+    deadline armed in a long-running daemon expires exactly its budget
+    later — the production default of {!now}. *)
 
 val now : (unit -> float) ref
-(** Seconds, monotone enough for budgets (wrong only across a
-    wall-clock step, like the engine's throughput metrics). *)
+(** Seconds; only ever compared by subtraction, so the origin is
+    irrelevant.  Defaults to {!monotonic} (a daemon must survive
+    wall-clock jumps); swap for tests. *)
 
 val sleep : (float -> unit) ref
 (** Used by retry backoff.  Defaults to [Unix.sleepf]; swap to avoid

@@ -23,6 +23,11 @@ let add t name by = ignore (Atomic.fetch_and_add (cell t name) by)
 
 let incr t name = add t name 1
 
+(* Gauge semantics: overwrite instead of accumulate, for values that
+   describe a current level (the daemon's repair backlog depth, its
+   active epoch) rather than a running total. *)
+let set t name v = Atomic.set (cell t name) v
+
 let get t name = match Hashtbl.find_opt t.table name with Some c -> Atomic.get c | None -> 0
 
 let snapshot t =

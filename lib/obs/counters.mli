@@ -13,6 +13,10 @@ val incr : t -> string -> unit
 
 val add : t -> string -> int -> unit
 
+val set : t -> string -> int -> unit
+(** Gauge write: overwrites the counter with a current level (backlog
+    depth, active epoch) instead of accumulating. *)
+
 val get : t -> string -> int
 (** 0 for a never-touched counter. *)
 

@@ -319,3 +319,16 @@ let set_shared_domains domains =
   shared_pool := Some (create ~domains);
   Mutex.unlock shared_lock;
   Option.iter shutdown old
+
+let resize_shared = set_shared_domains
+
+(* Graceful process-wide teardown: joins the shared workers and clears
+   the singleton, so a later [shared ()] re-initializes from scratch.
+   Long-running entry points (the route daemon) call this on exit so
+   the process never dies with domains parked in Condition.wait. *)
+let shutdown_shared () =
+  Mutex.lock shared_lock;
+  let old = !shared_pool in
+  shared_pool := None;
+  Mutex.unlock shared_lock;
+  Option.iter shutdown old

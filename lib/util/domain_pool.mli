@@ -93,3 +93,16 @@ val set_shared_domains : int -> unit
     old pool is shut down).  Intended for CLI entry points
     ([crt serve --domains D]); do not call while a [parallel_for] on
     the shared pool is in flight. *)
+
+val resize_shared : int -> unit
+(** Alias of {!set_shared_domains}: the resize half of the shared
+    pool's lifecycle API. *)
+
+val shutdown_shared : unit -> unit
+(** Joins the shared pool's workers and clears the singleton.
+    Idempotent (a second call is a no-op), and re-init is automatic:
+    the next {!shared} spawns a fresh pool.  Long-running entry points
+    (the route daemon) call this from [at_exit] so the process never
+    terminates with worker domains parked on a condition variable; do
+    not call while a [parallel_for] on the shared pool is in
+    flight. *)

@@ -50,6 +50,52 @@ let write_lines lines path =
     ~finally:(fun () -> close_out oc)
     (fun () -> List.iter (fun l -> output_string oc (l ^ "\n")) lines)
 
+(* ---- incremental writer ----------------------------------------------
+
+   Long-running emitters (the route daemon, streaming serve runs) write
+   one line at a time and must never leave a truncated last line, even
+   when the process is killed by SIGINT/SIGTERM: a half-written line
+   fails the CI strict-JSON gate and poisons downstream readers.  Every
+   [write] therefore appends the full line plus its newline and flushes
+   before returning, and all open writers sit in a registry so a signal
+   handler can [flush_all_writers] before exiting. *)
+
+module Writer = struct
+  type t = { path : string; oc : out_channel; mutable closed : bool }
+
+  let registry : t list ref = ref []
+
+  let registry_lock = Mutex.create ()
+
+  let with_registry f =
+    Mutex.lock registry_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+  let create path =
+    let w = { path; oc = open_out path; closed = false } in
+    with_registry (fun () -> registry := w :: !registry);
+    w
+
+  let path w = w.path
+
+  let write w line =
+    if w.closed then invalid_arg "Jsonl.Writer.write: writer is closed";
+    output_string w.oc line;
+    output_char w.oc '\n';
+    flush w.oc
+
+  let close w =
+    if not w.closed then begin
+      w.closed <- true;
+      with_registry (fun () -> registry := List.filter (fun x -> x != w) !registry);
+      close_out w.oc
+    end
+end
+
+let flush_all_writers () =
+  Writer.with_registry (fun () ->
+      List.iter (fun (w : Writer.t) -> if not w.Writer.closed then flush w.Writer.oc) !Writer.registry)
+
 (* ---- strict validation ------------------------------------------------
 
    A minimal RFC 8259 recognizer, used by the test suite (and available

@@ -30,6 +30,33 @@ val obj : (string * string) list -> string
 val write_lines : string list -> string -> unit
 (** [write_lines lines path] writes each line plus ["\n"] to [path]. *)
 
+(** Incremental line-at-a-time JSONL output for long-running emitters
+    (the route daemon, streaming serve runs).  Every {!Writer.write}
+    appends one complete line plus its newline and flushes before
+    returning, so an abrupt exit can never leave a truncated last line
+    — the invariant the CI strict-JSON gate checks.  All open writers
+    are registered so a signal handler can {!flush_all_writers} before
+    exiting. *)
+module Writer : sig
+  type t
+
+  val create : string -> t
+  (** Opens (truncating) [path] and registers the writer. *)
+
+  val path : t -> string
+
+  val write : t -> string -> unit
+  (** Appends [line ^ "\n"] and flushes.
+      @raise Invalid_argument after {!close}. *)
+
+  val close : t -> unit
+  (** Flushes, closes and unregisters.  Idempotent. *)
+end
+
+val flush_all_writers : unit -> unit
+(** Flushes every open {!Writer} — called from SIGINT/SIGTERM handlers
+    so partial output on disk always ends at a line boundary. *)
+
 val validate : string -> (unit, string) result
 (** Strict RFC 8259 recognizer for exactly one JSON value (no trailing
     garbage).  The test suite validates every emitted row through this,

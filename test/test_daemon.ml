@@ -1,0 +1,397 @@
+(* Tests for the cr_daemon library: protocol parsing, the daemon's
+   epoch lifecycle, repair equivalence (incremental repair converges to
+   exactly the state a from-scratch build would produce), mid-repair
+   serving under chaos, admission control, and the mutation journal. *)
+
+module Rng = Cr_util.Rng
+module Jsonl = Cr_util.Jsonl
+module Graph = Cr_graph.Graph
+module Gio = Cr_graph.Gio
+module Apsp = Cr_graph.Apsp
+module Generators = Cr_graph.Generators
+module Guard = Cr_guard
+module Daemon = Cr_daemon.Daemon
+module Protocol = Cr_daemon.Protocol
+module Dirty = Cr_daemon.Dirty
+open Compact_routing
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let mk_graph ?(n = 48) seed =
+  let rng = Rng.create seed in
+  let g = Generators.erdos_renyi rng ~n ~avg_degree:4.0 in
+  (* integer weights >= 1: normalized, and mutations stay exact *)
+  Graph.reweight g (fun _ _ _ -> 1.0 +. float_of_int (Rng.int rng 7))
+
+let params = Params.scaled ~k:3 ()
+
+(* a random mutation applicable to the current graph; mirrors the
+   daemon's churn vocabulary, weights respect the normalization floor *)
+let random_mutation rng g =
+  let n = Graph.n g in
+  let es = Array.of_list (Graph.edges g) in
+  let w () = 1.0 +. float_of_int (Rng.int rng 7) in
+  match Rng.int rng 5 with
+  | 0 when Array.length es > 0 ->
+      let u, v, _ = es.(Rng.int rng (Array.length es)) in
+      Graph.Set_weight (u, v, w ())
+  | 1 when Array.length es > 1 ->
+      let u, v, _ = es.(Rng.int rng (Array.length es)) in
+      Graph.Link_down (u, v)
+  | 2 ->
+      let u = Rng.int rng n and v = Rng.int rng n in
+      if u <> v && not (Graph.has_edge g u v) then Graph.Link_up (u, v, w ())
+      else Graph.Node_up (Rng.int rng n)
+  | 3 -> Graph.Node_down (Rng.int rng n)
+  | _ -> Graph.Node_up (Rng.int rng n)
+
+let feed d line =
+  let rs = Daemon.handle d line in
+  List.iter
+    (fun r ->
+      checkb
+        (Printf.sprintf "response tagged: %s" r)
+        true
+        ((String.length r >= 3 && String.sub r 0 3 = "ok ")
+        || (String.length r >= 4 && String.sub r 0 4 = "err ")))
+    rs;
+  rs
+
+let feed1 d line = match feed d line with [ r ] -> r | rs -> String.concat "|" rs
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let test_protocol_queries () =
+  let ok line cmd =
+    match Protocol.parse ~lineno:1 line with
+    | Ok (Some c) -> checkb (Printf.sprintf "parse %S" line) true (c = cmd)
+    | _ -> Alcotest.failf "parse %S failed" line
+  in
+  ok "route 3 7" (Protocol.Route (3, 7));
+  ok "  dist 0 12  " (Protocol.Dist (0, 12));
+  ok "sync" Protocol.Sync;
+  ok "stats" Protocol.Stats;
+  ok "epoch" Protocol.Epoch;
+  ok "help" Protocol.Help;
+  ok "quit" Protocol.Quit;
+  ok "exit" Protocol.Quit
+
+let test_protocol_mutations () =
+  let ok line mu =
+    match Protocol.parse ~lineno:1 line with
+    | Ok (Some (Protocol.Mutate m)) -> checkb (Printf.sprintf "parse %S" line) true (m = mu)
+    | _ -> Alcotest.failf "parse %S: expected mutation" line
+  in
+  ok "setw 0 1 1.5" (Graph.Set_weight (0, 1, 1.5));
+  ok "linkdown 4 2" (Graph.Link_down (4, 2));
+  ok "linkup 1 9 2" (Graph.Link_up (1, 9, 2.0));
+  ok "nodedown 5" (Graph.Node_down 5);
+  ok "nodeup 5" (Graph.Node_up 5)
+
+let test_protocol_blanks_and_comments () =
+  List.iter
+    (fun line ->
+      match Protocol.parse ~lineno:1 line with
+      | Ok None -> ()
+      | _ -> Alcotest.failf "expected silent skip for %S" line)
+    [ ""; "   "; "# comment"; "  # indented comment" ]
+
+let test_protocol_errors_carry_line_numbers () =
+  let err ~lineno line =
+    match Protocol.parse ~lineno line with
+    | Error msg -> msg
+    | Ok _ -> Alcotest.failf "expected parse error for %S" line
+  in
+  checkb "unknown command" true (contains (err ~lineno:12 "frobnicate 1") "line 12");
+  checkb "mentions token" true (contains (err ~lineno:12 "frobnicate 1") "frobnicate");
+  (* mutation records go through the shared Gio grammar *)
+  checkb "short setw" true (contains (err ~lineno:7 "setw 0 1") "line 7");
+  checkb "bad weight" true (contains (err ~lineno:3 "linkup 0 1 heavy") "line 3");
+  checkb "bad endpoint" true (contains (err ~lineno:9 "route 0") "line 9");
+  checkb "non-integer" true (contains (err ~lineno:4 "dist a b") "line 4")
+
+let test_daemon_counts_session_lines () =
+  let d = Daemon.create ~staleness_every:0 ~params (mk_graph 3) in
+  ignore (feed d "epoch");
+  ignore (Daemon.handle d "# a comment also advances the line counter");
+  let r = feed1 d "bogus" in
+  Daemon.close d;
+  checkb "err tagged" true (String.sub r 0 4 = "err ");
+  checkb "third line" true (contains r "line 3")
+
+(* ------------------------------------------------------------------ *)
+(* Epoch lifecycle *)
+
+let test_epoch_lifecycle () =
+  let g = mk_graph 5 in
+  let d = Daemon.create ~staleness_every:0 ~params g in
+  checki "epoch 0" 0 (Daemon.epoch_id d);
+  let u, v, _ = List.hd (Graph.edges g) in
+  let r = feed1 d (Printf.sprintf "linkdown %d %d" u v) in
+  checkb "mutate acked" true (contains r "ok mutate linkdown");
+  (match Daemon.sync d with
+  | Ok id -> checki "epoch advanced" 1 id
+  | Error e -> Alcotest.failf "sync failed: %s" e);
+  checki "epoch_id agrees" 1 (Daemon.epoch_id d);
+  checki "backlog drained" 0 (Daemon.backlog d);
+  checkb "live graph lost the edge" false (Graph.has_edge (Daemon.live_graph d) u v);
+  let r = feed1 d "quit" in
+  checkb "bye" true (contains r "ok bye");
+  checkb "quitting" true (Daemon.quitting d);
+  Daemon.close d
+
+let test_mutation_validation () =
+  let g = mk_graph 7 in
+  let d = Daemon.create ~staleness_every:0 ~params g in
+  let r = feed1 d "setw 9999 3 2" in
+  checkb "range rejected" true (String.sub r 0 4 = "err ");
+  (* weights below the normalization floor are refused: the scheme
+     build requires min weight >= 1 *)
+  let u, v, _ = List.hd (Graph.edges g) in
+  let r = feed1 d (Printf.sprintf "setw %d %d 0.25" u v) in
+  checkb "floor rejected" true (String.sub r 0 4 = "err ");
+  checki "nothing queued" 0 (Daemon.backlog d);
+  checki "epoch unchanged" 0 (Daemon.epoch_id d);
+  Daemon.close d
+
+let test_stats_json_strict () =
+  let d = Daemon.create ~staleness_every:0 ~params (mk_graph 9) in
+  ignore (feed d "route 0 5");
+  ignore (feed d "dist 0 5");
+  (match Jsonl.validate (Daemon.stats_json d) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "stats json invalid: %s" e);
+  let r = feed1 d "stats" in
+  checkb "stats over protocol" true (contains r "\"epoch\":");
+  Daemon.close d
+
+(* ------------------------------------------------------------------ *)
+(* Journal *)
+
+let test_journal_replays () =
+  let g = mk_graph 11 in
+  let path = Filename.temp_file "crjournal" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let d = Daemon.create ~staleness_every:0 ~journal:path ~params g in
+      let u, v, _ = List.hd (Graph.edges g) in
+      ignore (feed d (Printf.sprintf "linkdown %d %d" u v));
+      ignore (feed d (Printf.sprintf "linkup %d %d 3" u v));
+      ignore (feed d "nodedown 0");
+      (* rejected mutations must not reach the journal *)
+      ignore (Daemon.handle d "setw 9999 0 1");
+      (match Daemon.sync d with Ok _ -> () | Error e -> Alcotest.failf "sync: %s" e);
+      let live = Daemon.live_graph d in
+      Daemon.close d;
+      let mus = Gio.load_mutations path in
+      checki "three journal lines" 3 (List.length mus);
+      let replayed = Graph.apply_all g mus in
+      checki "same m" (Graph.m live) (Graph.m replayed);
+      Graph.iter_edges live (fun a b w ->
+          checkb "same edges" true (Graph.edge_weight replayed a b = Some w)))
+
+(* ------------------------------------------------------------------ *)
+(* Mid-repair serving: the acceptance probe.  The repair hook blocks
+   the worker domain, so the daemon is provably mid-repair while the
+   foreground answers from epoch 0 — under the flaky chaos preset
+   (transient query faults absorbed by retry) and a real deadline. *)
+
+let wait_for ?(timeout_s = 5.0) f =
+  let rec go n =
+    if f () then true
+    else if n <= 0 then false
+    else begin
+      Unix.sleepf 0.002;
+      go (n - 1)
+    end
+  in
+  go (int_of_float (timeout_s /. 0.002))
+
+let test_probe_answered_mid_repair () =
+  let g = mk_graph 13 ~n:64 in
+  let in_repair = Atomic.make false and release = Atomic.make false in
+  let hook () =
+    Atomic.set in_repair true;
+    while not (Atomic.get release) do
+      Domain.cpu_relax ()
+    done
+  in
+  let policy = { Guard.Policy.serving with Guard.Policy.query_budget_s = Some 2.0 } in
+  let chaos = List.assoc "flaky" (Guard.Chaos.presets ~seed:5) in
+  let d =
+    Daemon.create ~policy ~chaos ~staleness_every:0 ~repair_hook:hook ~params g
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set release true;
+      Daemon.close d)
+    (fun () ->
+      let u, v, _ = List.hd (Graph.edges g) in
+      ignore (feed d (Printf.sprintf "linkdown %d %d" u v));
+      checkb "repair started" true (wait_for (fun () -> Atomic.get in_repair));
+      checkb "backlog visible" true (Daemon.backlog d >= 1);
+      (* several probes: flaky injects transient faults on ~25% of
+         queries; retry must absorb them and every answer must come
+         from the last-good epoch, well within the deadline *)
+      let t0 = Unix.gettimeofday () in
+      for q = 0 to 9 do
+        let r = feed1 d (Printf.sprintf "route %d %d" (q mod 8) (8 + q)) in
+        checkb (Printf.sprintf "probe %d ok: %s" q r) true (contains r "ok route");
+        checkb "old epoch" true (contains r "epoch=0")
+      done;
+      checkb "answered within deadline" true (Unix.gettimeofday () -. t0 < 2.0);
+      Atomic.set release true;
+      (match Daemon.sync d with
+      | Ok id -> checki "repaired" 1 id
+      | Error e -> Alcotest.failf "sync: %s" e);
+      let r = feed1 d "route 0 9" in
+      checkb "new epoch serves" true (contains r "epoch=1"))
+
+(* ------------------------------------------------------------------ *)
+(* Admission control *)
+
+let test_shed_on_backlog () =
+  let g = mk_graph 17 in
+  let in_repair = Atomic.make false and release = Atomic.make false in
+  let hook () =
+    Atomic.set in_repair true;
+    while not (Atomic.get release) do
+      Domain.cpu_relax ()
+    done
+  in
+  let policy = Guard.Policy.make ~shed:(Guard.Shed.make_config ~max_queue:0 ()) () in
+  let d = Daemon.create ~policy ~staleness_every:0 ~repair_hook:hook ~params g in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set release true;
+      Daemon.close d)
+    (fun () ->
+      let u, v, _ = List.hd (Graph.edges g) in
+      ignore (feed d (Printf.sprintf "linkdown %d %d" u v));
+      checkb "repair started" true (wait_for (fun () -> Atomic.get in_repair));
+      let r = feed1 d "route 0 5" in
+      checkb "shed under backlog" true (contains r "rejected=shed");
+      Atomic.set release true;
+      (match Daemon.sync d with Ok _ -> () | Error e -> Alcotest.failf "sync: %s" e);
+      let r = feed1 d "route 0 5" in
+      checkb "admitted once drained" true (contains r "ok route");
+      checkb "sheds counted" true
+        (Cr_obs.Counters.get (Daemon.counters d) "guard.sheds" >= 1))
+
+let test_breaker_opens_under_persistent_faults () =
+  let g = mk_graph 19 in
+  (* every query fails more attempts than the (absent) retry allows,
+     so each admitted query is lost; the breaker must open after
+     min_samples and start rejecting up front *)
+  let chaos = Guard.Chaos.plan ~label:"dead" ~fail_rate:1.0 ~fail_attempts:9 ~seed:1 () in
+  let policy =
+    Guard.Policy.make
+      ~breaker:(Guard.Breaker.make_config ~window:8 ~min_samples:4 ~cooldown_s:60.0 ())
+      ()
+  in
+  let d = Daemon.create ~policy ~chaos ~staleness_every:0 ~params g in
+  let outcomes = List.init 12 (fun q -> feed1 d (Printf.sprintf "route 0 %d" (1 + q))) in
+  Daemon.close d;
+  checkb "early queries lost" true (contains (List.hd outcomes) "rejected=worker_lost");
+  checkb "breaker eventually opens" true
+    (List.exists (fun r -> contains r "rejected=breaker_open") outcomes)
+
+(* ------------------------------------------------------------------ *)
+(* Repair equivalence: after sync, the daemon's answers are
+   bit-identical to a daemon freshly built on the final graph.  This is
+   the pin for incremental repair: distances (%.17g round-trips every
+   float exactly) and routes (delivered/hops/cost/stretch) cannot be
+   told apart from a from-scratch rebuild. *)
+
+let answers d pairs =
+  List.concat_map
+    (fun (u, v) ->
+      [ feed1 d (Printf.sprintf "dist %d %d" u v); feed1 d (Printf.sprintf "route %d %d" u v) ])
+    pairs
+
+let strip_epoch r =
+  match String.rindex_opt r ' ' with Some i -> String.sub r 0 i | None -> r
+
+let repair_equivalence_case seed =
+  let rng = Rng.create seed in
+  let n = 16 + Rng.int rng 24 in
+  let g = mk_graph ~n seed in
+  let d = Daemon.create ~policy:Guard.Policy.off ~staleness_every:0 ~params g in
+  let steps = 1 + Rng.int rng 6 in
+  for _ = 1 to steps do
+    let mu = random_mutation rng (Daemon.live_graph d) in
+    ignore (Daemon.handle d (Graph.mutation_to_string mu))
+  done;
+  (match Daemon.sync d with Ok _ -> () | Error e -> Alcotest.failf "sync: %s" e);
+  let final = Daemon.live_graph d in
+  let fresh = Daemon.create ~policy:Guard.Policy.off ~staleness_every:0 ~params final in
+  let pairs =
+    List.init 40 (fun _ -> (Rng.int rng n, Rng.int rng n))
+  in
+  (* epoch ids differ by construction (repaired vs 0); everything else
+     in the answers must match byte for byte *)
+  let a = List.map strip_epoch (answers d pairs)
+  and b = List.map strip_epoch (answers fresh pairs) in
+  Daemon.close d;
+  Daemon.close fresh;
+  List.iter2 (fun x y -> checks (Printf.sprintf "seed %d" seed) y x) a b
+
+let test_repair_equivalence () =
+  for seed = 1 to 12 do
+    repair_equivalence_case seed
+  done
+
+(* dirty-set assessment stays consistent with what repair touches *)
+let test_dirty_assessment () =
+  let g = mk_graph 23 in
+  let apsp = Apsp.compute g in
+  let agm = Agm06.build ~params apsp in
+  let u, v, _ = List.hd (Graph.edges g) in
+  let imp = Dirty.assess agm apsp (Graph.Link_down (u, v)) in
+  checkb "some sources dirty" true (imp.Dirty.sources > 0);
+  checkb "renders" true (String.length (Dirty.to_string imp) > 0);
+  let clean = Dirty.assess agm apsp (Graph.Node_up 0) in
+  checkb "nodeup touches nothing" true (clean = Dirty.no_impact)
+
+let () =
+  Alcotest.run "daemon"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "queries" `Quick test_protocol_queries;
+          Alcotest.test_case "mutations" `Quick test_protocol_mutations;
+          Alcotest.test_case "blanks and comments" `Quick test_protocol_blanks_and_comments;
+          Alcotest.test_case "errors carry line numbers" `Quick
+            test_protocol_errors_carry_line_numbers;
+          Alcotest.test_case "session line counter" `Quick test_daemon_counts_session_lines;
+        ] );
+      ( "epochs",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_epoch_lifecycle;
+          Alcotest.test_case "mutation validation" `Quick test_mutation_validation;
+          Alcotest.test_case "stats json strict" `Quick test_stats_json_strict;
+          Alcotest.test_case "journal replays" `Quick test_journal_replays;
+        ] );
+      ( "serving",
+        [
+          Alcotest.test_case "probe answered mid-repair under flaky chaos" `Quick
+            test_probe_answered_mid_repair;
+          Alcotest.test_case "shed on backlog" `Quick test_shed_on_backlog;
+          Alcotest.test_case "breaker opens under persistent faults" `Quick
+            test_breaker_opens_under_persistent_faults;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "incremental equals from-scratch" `Slow test_repair_equivalence;
+          Alcotest.test_case "dirty assessment" `Quick test_dirty_assessment;
+        ] );
+    ]

@@ -532,6 +532,97 @@ let test_gio_comments_and_blanks () =
   checkf "w" 2.5 (Option.get (Graph.edge_weight g 0 1))
 
 (* ------------------------------------------------------------------ *)
+(* Graph mutations *)
+
+let test_mutation_setw_preserves_ports () =
+  let g = fixture () in
+  let g' = Graph.apply g (Graph.Set_weight (0, 2, 9.0)) in
+  checkf "reweighted" 9.0 (Option.get (Graph.edge_weight g' 0 2));
+  checkf "input untouched" 5.0 (Option.get (Graph.edge_weight g 0 2));
+  for v = 0 to 3 do
+    Array.iteri
+      (fun p (nb, _) -> checki "port stable" p (Option.get (Graph.port g' v nb)))
+      (Graph.neighbors g v)
+  done
+
+let test_mutation_link_topology () =
+  let g = fixture () in
+  let g' = Graph.apply g (Graph.Link_down (0, 2)) in
+  checkb "edge gone" false (Graph.has_edge g' 0 2);
+  checki "m dropped" 3 (Graph.m g');
+  let g'' = Graph.apply g' (Graph.Link_up (0, 3, 2.5)) in
+  checkf "edge added" 2.5 (Option.get (Graph.edge_weight g'' 0 3));
+  checki "m restored" 4 (Graph.m g'')
+
+let test_mutation_node_down_up () =
+  let g = fixture () in
+  let g' = Graph.apply g (Graph.Node_down 2) in
+  checki "incident edges removed" 1 (Graph.m g') (* only 0-1 survives *);
+  checki "degree zero" 0 (Graph.degree g' 2);
+  checki "n unchanged" 4 (Graph.n g');
+  (* recovery is structurally a no-op: links come back via linkup *)
+  let g'' = Graph.apply g' (Graph.Node_up 2) in
+  checki "nodeup no-op" (Graph.m g') (Graph.m g'')
+
+let test_mutation_validation () =
+  let g = fixture () in
+  let raises mu = try ignore (Graph.apply g mu); false with Invalid_argument _ -> true in
+  checkb "setw missing edge" true (raises (Graph.Set_weight (0, 3, 1.0)));
+  checkb "setw bad weight" true (raises (Graph.Set_weight (0, 1, 0.0)));
+  checkb "linkdown missing edge" true (raises (Graph.Link_down (0, 3)));
+  checkb "linkup existing edge" true (raises (Graph.Link_up (0, 1, 1.0)));
+  checkb "linkup self loop" true (raises (Graph.Link_up (1, 1, 1.0)));
+  checkb "node out of range" true (raises (Graph.Node_down 9));
+  checkb "negative node" true (raises (Graph.Node_up (-1)))
+
+let test_mutation_structural () =
+  checkb "setw weight-only" false (Graph.structural (Graph.Set_weight (0, 1, 2.0)));
+  checkb "nodeup no-op" false (Graph.structural (Graph.Node_up 0));
+  checkb "linkdown structural" true (Graph.structural (Graph.Link_down (0, 1)));
+  checkb "linkup structural" true (Graph.structural (Graph.Link_up (0, 3, 1.0)));
+  checkb "nodedown structural" true (Graph.structural (Graph.Node_down 0))
+
+(* mutation-log parsing: the daemon journal format *)
+
+let test_mutation_log_roundtrip () =
+  let mus =
+    [
+      Graph.Set_weight (0, 1, 2.5);
+      Graph.Link_down (1, 2);
+      Graph.Link_up (0, 3, 1.0 +. (1.0 /. 3.0));
+      Graph.Node_down 2;
+      Graph.Node_up 2;
+    ]
+  in
+  let mus' = Gio.mutations_of_string (Gio.mutations_to_string mus) in
+  checkb "bit-identical list" true (mus = mus')
+
+let test_mutation_log_parse_errors_carry_line_numbers () =
+  let line_of s = try ignore (Gio.mutations_of_string s); -1 with Gio.Parse_error (l, _) -> l in
+  checki "unknown keyword" 1 (line_of "frobnicate 0 1\n");
+  checki "short setw" 1 (line_of "setw 0 1\n");
+  checki "long linkdown" 1 (line_of "linkdown 0 1 2\n");
+  checki "bad endpoint" 2 (line_of "setw 0 1 2.0\nlinkup 0 x 1.0\n");
+  checki "bad weight" 2 (line_of "nodedown 3\nsetw 0 1 heavy\n");
+  checki "non-finite weight" 1 (line_of "linkup 0 1 inf\n");
+  checki "negative weight" 1 (line_of "setw 0 1 -2.0\n");
+  (* blank lines and comments are skipped but still counted *)
+  checki "comments counted" 4 (line_of "# journal\n\nsetw 0 1 2.0\nbogus\n");
+  checkb "empty log ok" true (Gio.mutations_of_string "" = []);
+  checkb "comment-only log ok" true (Gio.mutations_of_string "# nothing\n" = [])
+
+let test_mutation_log_file_roundtrip () =
+  let mus = [ Graph.Link_down (4, 7); Graph.Set_weight (1, 2, 3.75) ] in
+  let path = Filename.temp_file "crmut" ".log" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Gio.mutations_to_string mus);
+      close_out oc;
+      checkb "file roundtrip" true (Gio.load_mutations path = mus))
+
+(* ------------------------------------------------------------------ *)
 (* qcheck properties *)
 
 let graph_gen =
@@ -544,6 +635,50 @@ let graph_gen =
       (int_range 0 1000) (int_range 5 60))
 
 let arb_graph = QCheck.make ~print:(fun g -> Printf.sprintf "<graph n=%d m=%d>" (Graph.n g) (Graph.m g)) graph_gen
+
+(* an applicable random mutation for the current graph, weights kept
+   integral so journal round-trips are trivially exact to compare *)
+let random_mutation rng g =
+  let n = Graph.n g in
+  let es = Array.of_list (Graph.edges g) in
+  let w () = 1.0 +. float_of_int (Rng.int rng 7) in
+  match Rng.int rng 5 with
+  | 0 when Array.length es > 0 ->
+      let u, v, _ = es.(Rng.int rng (Array.length es)) in
+      Graph.Set_weight (u, v, w ())
+  | 1 when Array.length es > 1 ->
+      let u, v, _ = es.(Rng.int rng (Array.length es)) in
+      Graph.Link_down (u, v)
+  | 2 ->
+      let u = Rng.int rng n and v = Rng.int rng n in
+      if u <> v && not (Graph.has_edge g u v) then Graph.Link_up (u, v, w ())
+      else Graph.Node_up (Rng.int rng n)
+  | 3 -> Graph.Node_down (Rng.int rng n)
+  | _ -> Graph.Node_up (Rng.int rng n)
+
+let random_script seed =
+  let rng = Rng.create seed in
+  let n = 12 + Rng.int rng 28 in
+  let g0 = Generators.erdos_renyi rng ~n ~avg_degree:3.5 in
+  let g0 = Graph.reweight g0 (fun _ _ _ -> 1.0 +. float_of_int (Rng.int rng 7)) in
+  let steps = 1 + Rng.int rng 6 in
+  let rec go g acc k =
+    if k = 0 then (g0, List.rev acc)
+    else
+      let mu = random_mutation rng g in
+      go (Graph.apply g mu) (mu :: acc) (k - 1)
+  in
+  go g0 [] steps
+
+let arb_script =
+  QCheck.make
+    ~print:(fun (_, mus) -> String.concat "; " (List.map Graph.mutation_to_string mus))
+    QCheck.Gen.(map random_script (int_range 0 100000))
+
+let sssp_equal (a : Dijkstra.result) (b : Dijkstra.result) =
+  a.Dijkstra.dist = b.Dijkstra.dist
+  && a.Dijkstra.parent = b.Dijkstra.parent
+  && a.Dijkstra.parent_port = b.Dijkstra.parent_port
 
 let qcheck_tests =
   let open QCheck in
@@ -589,6 +724,29 @@ let qcheck_tests =
             in
             adj p
           end
+        done;
+        !ok);
+    Test.make ~name:"mutation log roundtrips bit-identically" ~count:40 arb_script
+      (fun (_, mus) ->
+        (* to_string . of_string is the identity on every journal: the
+           %.17g spelling round-trips any float weight exactly *)
+        Gio.mutations_of_string (Gio.mutations_to_string mus) = mus);
+    Test.make ~name:"apply_all equals iterated apply" ~count:30 arb_script (fun (g0, mus) ->
+        let a = Graph.apply_all g0 mus in
+        let b = List.fold_left Graph.apply g0 mus in
+        Graph.n a = Graph.n b && Graph.edges a = Graph.edges b);
+    Test.make ~name:"incremental repair equals fresh compute" ~count:25 arb_script
+      (fun (g0, mus) ->
+        (* chain repair_mutation over the script; every single-source
+           result (distances, parents, ports) must be bit-identical to
+           an APSP computed from scratch on the final graph *)
+        let apsp =
+          List.fold_left (fun a mu -> fst (Apsp.repair_mutation a mu)) (Apsp.compute g0) mus
+        in
+        let fresh = Apsp.compute (Apsp.graph apsp) in
+        let ok = ref true in
+        for s = 0 to Graph.n g0 - 1 do
+          if not (sssp_equal (Apsp.sssp apsp s) (Apsp.sssp fresh s)) then ok := false
         done;
         !ok);
     Test.make ~name:"gio roundtrip preserves structure" ~count:20 arb_graph (fun g ->
@@ -686,6 +844,18 @@ let () =
             test_gio_parse_errors_carry_line_numbers;
           Alcotest.test_case "parse error message" `Quick test_gio_parse_error_message_mentions_reason;
           Alcotest.test_case "comments" `Quick test_gio_comments_and_blanks;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "setw preserves ports" `Quick test_mutation_setw_preserves_ports;
+          Alcotest.test_case "link topology" `Quick test_mutation_link_topology;
+          Alcotest.test_case "node down and up" `Quick test_mutation_node_down_up;
+          Alcotest.test_case "validation" `Quick test_mutation_validation;
+          Alcotest.test_case "structural classification" `Quick test_mutation_structural;
+          Alcotest.test_case "log roundtrip" `Quick test_mutation_log_roundtrip;
+          Alcotest.test_case "log parse errors carry line numbers" `Quick
+            test_mutation_log_parse_errors_carry_line_numbers;
+          Alcotest.test_case "log file roundtrip" `Quick test_mutation_log_file_roundtrip;
         ] );
       ("properties", qsuite);
     ]

@@ -92,6 +92,24 @@ let test_fake_clock_restores () =
   (try Clock.with_fake (fun _ -> failwith "boom") with Failure _ -> ());
   checkb "real clock restored after exception" true (!Clock.now == before)
 
+let test_monotonic_never_goes_backwards () =
+  let last = ref (Clock.monotonic ()) in
+  for _ = 1 to 1000 do
+    let t = Clock.monotonic () in
+    checkb "non-decreasing" true (t >= !last);
+    last := t
+  done;
+  (* the default now is the monotonic source, so deadlines are immune
+     to wall-clock steps *)
+  let a = !Clock.now () in
+  let b = !Clock.now () in
+  checkb "default clock monotonic too" true (b >= a)
+
+let test_default_sleep_advances_clock () =
+  let t0 = !Clock.now () in
+  !Clock.sleep 0.002;
+  checkb "slept at least the request" true (!Clock.now () -. t0 >= 0.0015)
+
 (* ------------------------------------------------------------------ *)
 (* Retry *)
 
@@ -630,6 +648,10 @@ let () =
           Alcotest.test_case "fake clock expiry" `Quick test_deadline_fake_clock;
           Alcotest.test_case "negative budget rejected" `Quick test_deadline_negative_raises;
           Alcotest.test_case "fake clock restores" `Quick test_fake_clock_restores;
+          Alcotest.test_case "monotonic never goes backwards" `Quick
+            test_monotonic_never_goes_backwards;
+          Alcotest.test_case "default sleep advances clock" `Quick
+            test_default_sleep_advances_clock;
         ] );
       ( "retry",
         [

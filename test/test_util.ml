@@ -235,6 +235,76 @@ let test_jsonl_validate () =
   bad "01";
   bad "1."
 
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with exception End_of_file -> List.rev acc | l -> go (l :: acc)
+  in
+  let ls = go [] in
+  close_in ic;
+  ls
+
+let test_jsonl_writer_flushes_per_line () =
+  let path = Filename.temp_file "crwriter" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w = Jsonl.Writer.create path in
+      checkb "path" true (Jsonl.Writer.path w = path);
+      Jsonl.Writer.write w "{\"a\":1}";
+      Jsonl.Writer.write w "{\"b\":2}";
+      (* flushed per line: both records visible before close, so a
+         signal arriving now cannot truncate the last line *)
+      Alcotest.(check (list string)) "visible before close" [ "{\"a\":1}"; "{\"b\":2}" ]
+        (read_lines path);
+      Jsonl.Writer.close w;
+      Alcotest.(check (list string)) "unchanged by close" [ "{\"a\":1}"; "{\"b\":2}" ]
+        (read_lines path))
+
+let test_jsonl_flush_all_writers () =
+  let path = Filename.temp_file "crwriter" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let w = Jsonl.Writer.create path in
+      Jsonl.Writer.write w "{\"c\":3}";
+      (* the registry walk of the signal handlers: must not raise, and
+         closed writers must have dropped out of the registry *)
+      Jsonl.flush_all_writers ();
+      checki "still one line" 1 (List.length (read_lines path));
+      Jsonl.Writer.close w;
+      Jsonl.flush_all_writers ())
+
+(* ------------------------------------------------------------------ *)
+(* Domain_pool shared lifecycle *)
+
+module Pool = Cr_util.Domain_pool
+
+let pool_sums_correctly () =
+  let p = Pool.shared () in
+  let acc = Atomic.make 0 in
+  Pool.parallel_for p ~n:1000 (fun i -> ignore (Atomic.fetch_and_add acc i));
+  checki "sum" (999 * 1000 / 2) (Atomic.get acc)
+
+let test_pool_shutdown_idempotent () =
+  pool_sums_correctly ();
+  Pool.shutdown_shared ();
+  Pool.shutdown_shared () (* second shutdown is a no-op *);
+  (* the shared pool re-initializes transparently after shutdown *)
+  pool_sums_correctly ();
+  Pool.shutdown_shared ()
+
+let test_pool_resize () =
+  Pool.resize_shared 2;
+  checki "resized" 2 (Pool.domains (Pool.shared ()));
+  pool_sums_correctly ();
+  Pool.resize_shared 2 (* same size: a no-op, not a rebuild *);
+  checki "still 2" 2 (Pool.domains (Pool.shared ()));
+  Pool.resize_shared 3;
+  checki "regrown" 3 (Pool.domains (Pool.shared ()));
+  pool_sums_correctly ();
+  Pool.shutdown_shared ()
+
 (* ------------------------------------------------------------------ *)
 (* Bits *)
 
@@ -504,6 +574,14 @@ let () =
           Alcotest.test_case "non-finite rows stay valid" `Quick
             test_jsonl_non_finite_rows_validate;
           Alcotest.test_case "validate" `Quick test_jsonl_validate;
+          Alcotest.test_case "writer flushes per line" `Quick test_jsonl_writer_flushes_per_line;
+          Alcotest.test_case "flush_all_writers" `Quick test_jsonl_flush_all_writers;
+        ] );
+      ( "domain_pool",
+        [
+          Alcotest.test_case "shutdown idempotent, shared re-inits" `Quick
+            test_pool_shutdown_idempotent;
+          Alcotest.test_case "resize" `Quick test_pool_resize;
         ] );
       ( "bits",
         [
