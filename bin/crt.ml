@@ -665,8 +665,32 @@ let daemon_cmd =
     Arg.(value & opt (some string) None
          & info [ "events" ] ~docv:"FILE" ~doc:"Stream one strict-JSON repair event per line to FILE.")
   in
+  let fsync_arg =
+    Arg.(value & opt string "every"
+         & info [ "fsync" ] ~docv:"POLICY"
+             ~doc:"Journal durability: every (fsync per record), batch[:N] (fsync every N records) or off (flush only). ok replies are sent after the record is durable per this policy.")
+  in
+  let snapshots_arg =
+    Arg.(value & opt (some string) None
+         & info [ "snapshots" ] ~docv:"DIR"
+             ~doc:"Write an atomic snapshot checkpoint to DIR every --snapshot-every journaled mutations (requires --journal).")
+  in
+  let snapshot_every_arg =
+    Arg.(value & opt int 64
+         & info [ "snapshot-every" ] ~docv:"N" ~doc:"Checkpoint interval in journaled mutations.")
+  in
+  let recover_arg =
+    Arg.(value & opt (some string) None
+         & info [ "recover" ] ~docv:"DIR"
+             ~doc:"Recover before serving: load the newest valid snapshot from DIR, replay the valid --journal suffix, truncate any torn tail, and continue journaling in place (requires --journal).")
+  in
+  let crashpoint_arg =
+    Arg.(value & opt (some string) None
+         & info [ "crashpoint" ] ~docv:"SITE[:N]"
+             ~doc:"Fault injection: SIGKILL self at the Nth hit (default 1st) of SITE — pre-flush, post-flush-pre-ack or mid-snapshot. For crash-recovery testing.")
+  in
   let run seed k workload graph_file aspect guards chaos budget chaos_seed staleness journal
-      replay events =
+      replay events fsync snapshots snapshot_every recover crashpoint =
     install_signal_handlers ();
     at_exit Pool.shutdown_shared;
     let policy =
@@ -683,40 +707,95 @@ let daemon_cmd =
           Printf.eprintf "crt: %s\n" msg;
           exit 2
     in
+    let fsync =
+      match Cr_daemon.Journal.fsync_of_string fsync with
+      | Ok f -> f
+      | Error msg ->
+          Printf.eprintf "crt: --fsync: %s\n" msg;
+          exit 2
+    in
+    (match crashpoint with
+    | None -> ()
+    | Some spec ->
+        let site_s, after =
+          match String.index_opt spec ':' with
+          | None -> (spec, 1)
+          | Some i -> (
+              let s = String.sub spec 0 i in
+              let n = String.sub spec (i + 1) (String.length spec - i - 1) in
+              match int_of_string_opt n with
+              | Some n when n >= 1 -> (s, n)
+              | _ ->
+                  Printf.eprintf "crt: --crashpoint: bad hit count %S\n" n;
+                  exit 2)
+        in
+        (match Cr_daemon.Crashpoint.of_string site_s with
+        | Some site -> Cr_daemon.Crashpoint.arm_kill ~after site
+        | None ->
+            Printf.eprintf "crt: --crashpoint: unknown site %S (try %s)\n" site_s
+              (String.concat ", "
+                 (List.map Cr_daemon.Crashpoint.to_string Cr_daemon.Crashpoint.all));
+            exit 2));
+    if (snapshots <> None || recover <> None) && journal = None then begin
+      Printf.eprintf "crt: --snapshots/--recover need --journal (checkpoints record a journal offset)\n";
+      exit 2
+    end;
+    (* --recover DIR reads checkpoints from DIR; new ones go to
+       --snapshots DIR, defaulting to the same place *)
+    let snapshot_dir = match snapshots with Some d -> Some d | None -> recover in
     let g = load_graph ~seed ~graph_file ~workload ~aspect in
     let g =
       match replay with
       | None -> g
       | Some path -> (
-          try Graph.apply_all g (Gio.load_mutations path) with
-          | Gio.Parse_error (line, reason) ->
-              Printf.eprintf "crt: %s: line %d: %s\n" path line reason;
-              exit 1
+          (* a torn or corrupt trailing record is the expected outcome
+             of a crash, not an operator error: replay the valid
+             prefix, say exactly what was dropped, and serve *)
+          try
+            let r = Cr_daemon.Journal.load path in
+            (match r.Cr_daemon.Journal.truncation with
+            | Some tr ->
+                Printf.eprintf
+                  "crt: %s: line %d: %s; replaying the %d valid records before it\n" path
+                  tr.Cr_daemon.Journal.lineno tr.Cr_daemon.Journal.reason
+                  r.Cr_daemon.Journal.read_records
+            | None -> ());
+            Graph.apply_all g r.Cr_daemon.Journal.mutations
+          with
           | Invalid_argument msg | Sys_error msg ->
               Printf.eprintf "crt: replay %s: %s\n" path msg;
               exit 1)
     in
     let d =
       try
-        Daemon.create ~policy ~chaos ~staleness_every:staleness ?journal ?events
+        Daemon.create ~policy ~chaos ~staleness_every:staleness ~fsync ?journal ?snapshot_dir
+          ~snapshot_every ~recover:(recover <> None) ?events
           ~params:(Params.scaled ~k ~seed ()) g
       with Invalid_argument msg ->
         Printf.eprintf "crt: %s\n" msg;
         exit 1
     in
+    let g = Daemon.live_graph d in
     Printf.printf "ok ready n=%d m=%d k=%d guards=%s chaos=%s\n" (Graph.n g) (Graph.m g) k
       guards (Cr_guard.Chaos.label chaos);
+    (match Daemon.recovery d with
+    | Some r ->
+        Printf.printf "ok recovered snapshot=%s replayed=%d truncated_bytes=%d recovery_ms=%.1f\n"
+          (match r.Daemon.snapshot_epoch with Some e -> string_of_int e | None -> "none")
+          r.Daemon.replayed r.Daemon.truncated_bytes (1e3 *. r.Daemon.recovery_s)
+    | None -> ());
     flush stdout;
     Daemon.serve_loop d stdin stdout;
     Daemon.close d
   in
   Cmd.v
     (Cmd.info "daemon"
-       ~doc:"Persistent route daemon: stream route/dist queries and live mutations over stdin/stdout; repair is incremental and never blocks serving.")
+       ~doc:"Persistent route daemon: stream route/dist queries and live mutations over stdin/stdout; repair is incremental and never blocks serving, the journal is checksummed and crash-recoverable.")
     Term.(
       const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ guards_arg
       $ chaos_arg $ budget_arg $ chaos_seed_arg $ staleness_arg $ journal_arg $ replay_arg
-      $ events_arg)
+      $ events_arg $ fsync_arg $ snapshots_arg $ snapshot_every_arg $ recover_arg
+      $ crashpoint_arg)
 
 (* ---------- trace ---------- *)
 

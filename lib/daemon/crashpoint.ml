@@ -1,0 +1,71 @@
+(* Deterministic crash injection for the persist path.
+
+   Durability claims are only as good as the crashes they were tested
+   against, so the daemon's persist path is instrumented with *named*
+   injection points: [hit] is called at each one, and an armed
+   crashpoint fires its action on the Nth hit of its site.  Tests arm
+   [arm_raise] (the action raises {!Crashed}, the test catches it and
+   recovers from the on-disk state); the CLI arms [arm_kill] (the
+   process delivers SIGKILL to itself — a real unflushed, unhandled
+   death, which is exactly what the recovery invariant must survive).
+
+   One crashpoint is armed at a time, process-global: the persist path
+   runs on the daemon's single handle thread, and a crash simulation
+   makes no sense concurrently with itself. *)
+
+type site =
+  | Pre_flush  (* journal record buffered, not yet flushed: the ack was never sent, the bytes may be lost *)
+  | Post_flush_pre_ack  (* record durable per the fsync policy, ack not yet sent *)
+  | Mid_snapshot  (* snapshot temp file fully written, rename pending *)
+
+let all = [ Pre_flush; Post_flush_pre_ack; Mid_snapshot ]
+
+let to_string = function
+  | Pre_flush -> "pre-flush"
+  | Post_flush_pre_ack -> "post-flush-pre-ack"
+  | Mid_snapshot -> "mid-snapshot"
+
+let of_string = function
+  | "pre-flush" -> Some Pre_flush
+  | "post-flush-pre-ack" -> Some Post_flush_pre_ack
+  | "mid-snapshot" -> Some Mid_snapshot
+  | _ -> None
+
+exception Crashed of site
+
+let () =
+  Printexc.register_printer (function
+    | Crashed site -> Some (Printf.sprintf "Crashpoint.Crashed(%s)" (to_string site))
+    | _ -> None)
+
+type armed = { site : site; mutable remaining : int; action : site -> unit }
+
+let state : armed option ref = ref None
+
+let arm ?(after = 1) ~action site =
+  if after < 1 then invalid_arg "Crashpoint.arm: after must be >= 1";
+  state := Some { site; remaining = after; action }
+
+let arm_raise ?after site = arm ?after ~action:(fun s -> raise (Crashed s)) site
+
+let arm_kill ?after site =
+  (* a genuine SIGKILL: no at_exit, no channel flushing, exit status 137
+     — indistinguishable from kill -9 by the restarted process *)
+  arm ?after
+    ~action:(fun _ ->
+      (try Unix.kill (Unix.getpid ()) Sys.sigkill with Unix.Unix_error _ -> ());
+      exit 137)
+    site
+
+let disarm () = state := None
+
+let hit site =
+  match !state with
+  | Some a when a.site = site ->
+      a.remaining <- a.remaining - 1;
+      if a.remaining <= 0 then begin
+        (* disarm before firing so a raising action cannot re-fire *)
+        state := None;
+        a.action site
+      end
+  | _ -> ()

@@ -1,0 +1,52 @@
+(** Deterministic crash injection for the daemon's persist path.
+
+    The journal and snapshot writers call {!hit} at named points; an
+    armed crashpoint fires its action on the Nth hit of its site.  This
+    is how the recovery invariant is {e proved} rather than assumed:
+    tests arm {!arm_raise} and recover from the resulting on-disk
+    state; [crt daemon --crashpoint] arms {!arm_kill} so CI can kill a
+    real process at an exact persist-path position.
+
+    Process-global, one crashpoint armed at a time (the persist path is
+    single-threaded).  Nothing fires unless something armed it. *)
+
+type site =
+  | Pre_flush
+      (** journal record buffered in the channel, flush not yet issued:
+          the mutation was never acknowledged and its bytes may vanish *)
+  | Post_flush_pre_ack
+      (** record durable per the fsync policy, [ok] not yet written:
+          recovery may legitimately replay one more mutation than the
+          client saw acknowledged *)
+  | Mid_snapshot
+      (** snapshot temp file fully written, atomic rename still
+          pending: the new checkpoint must simply not exist afterwards *)
+
+val all : site list
+
+val to_string : site -> string
+(** [pre-flush], [post-flush-pre-ack], [mid-snapshot] — the
+    [--crashpoint] flag spellings. *)
+
+val of_string : string -> site option
+
+exception Crashed of site
+(** Raised by {!arm_raise}-armed crashpoints. *)
+
+val arm : ?after:int -> action:(site -> unit) -> site -> unit
+(** Arm [site] to fire [action] on its [after]-th hit (default 1),
+    replacing any previously armed crashpoint.  The crashpoint disarms
+    itself before firing.
+    @raise Invalid_argument if [after < 1]. *)
+
+val arm_raise : ?after:int -> site -> unit
+(** Arm with an action that raises {!Crashed} — the test-suite seam. *)
+
+val arm_kill : ?after:int -> site -> unit
+(** Arm with an action that delivers SIGKILL to the current process —
+    the [crt daemon --crashpoint] seam: a real unflushed death. *)
+
+val disarm : unit -> unit
+
+val hit : site -> unit
+(** Called by the persist path.  No-op unless this site is armed. *)

@@ -1,4 +1,5 @@
 module Graph = Cr_graph.Graph
+module Gio = Cr_graph.Gio
 module Apsp = Cr_graph.Apsp
 module Dijkstra = Cr_graph.Dijkstra
 module Guard = Cr_guard
@@ -28,6 +29,18 @@ type config = {
   chaos : Guard.Chaos.t;
   staleness_every : int;
   repair_hook : (unit -> unit) option;
+  fsync : Journal.fsync;
+  snapshot_every : int;
+  restart_backoff : Guard.Backoff.t;
+}
+
+type recovery = {
+  snapshot_epoch : int option;  (* epoch of the checkpoint used, if any *)
+  snapshots_skipped : int;  (* newer checkpoints rejected as corrupt *)
+  replayed : int;  (* journal records replayed past the checkpoint *)
+  truncated_bytes : int;  (* torn/corrupt journal tail cut off *)
+  truncated_line : int option;
+  recovery_s : float;  (* wall time to a serving epoch *)
 }
 
 type t = {
@@ -49,7 +62,11 @@ type t = {
   mutable est_cost_s : float;  (* EWMA per-query cost, for shed feasibility *)
   mutable repair_s : float list;  (* per-batch repair wall times *)
   mutable stale_stretch : float list;  (* sampled live-graph stretch of answers *)
-  mutable journal : out_channel option;
+  mutable journal : Journal.writer option;
+  snapshot_dir : string option;
+  mutable snapshots : int;  (* checkpoints written this run *)
+  mutable last_snapshot : (int * float) option;  (* epoch id, wall clock *)
+  recovered : recovery option;
   mutable events : Jsonl.Writer.t option;
 }
 
@@ -116,8 +133,35 @@ let repair_batch t base batch =
   in
   (epoch, !sources, !impact)
 
+let restart_event t ~restart ~delay_s ~error =
+  match t.events with
+  | None -> ()
+  | Some w ->
+      Jsonl.Writer.write w
+        (Jsonl.obj
+           [
+             ("event", Jsonl.str "repair_restart");
+             ("restart", Jsonl.int restart);
+             ("delay_ms", Jsonl.float (1e3 *. delay_s));
+             ("error", Jsonl.str error);
+           ])
+
+let requeue_front t batch =
+  (* the failed batch goes back ahead of anything accepted meanwhile,
+     so the next attempt replays mutations in acceptance order *)
+  let nq = Queue.create () in
+  List.iter (fun mu -> Queue.push mu nq) batch;
+  Queue.transfer t.pending nq;
+  Queue.transfer nq t.pending
+
 let worker_loop t =
-  let rec loop () =
+  (* Supervised: a failed repair no longer poisons the daemon outright.
+     The batch is requeued at the front, the worker backs off (capped
+     exponential) and tries again; only [max_restarts] consecutive
+     failures poison it.  A transient fault — an injected chaos error,
+     a hook that raises once — costs a delay, not the repair domain. *)
+  let backoff = t.cfg.restart_backoff in
+  let rec loop ~failures =
     Mutex.lock t.lock;
     while Queue.is_empty t.pending && not t.stop do
       Condition.wait t.cond t.lock
@@ -130,17 +174,19 @@ let worker_loop t =
       let base = t.serving in
       t.repairing <- true;
       Mutex.unlock t.lock;
-      (match t.cfg.repair_hook with Some hook -> hook () | None -> ());
       let outcome =
         let t0 = !Guard.Clock.now () in
-        match repair_batch t base batch with
+        match
+          (match t.cfg.repair_hook with Some hook -> hook () | None -> ());
+          repair_batch t base batch
+        with
         | result -> Ok (result, !Guard.Clock.now () -. t0)
         | exception exn -> Error (Printexc.to_string exn)
       in
-      Mutex.lock t.lock;
-      t.repairing <- false;
-      (match outcome with
+      match outcome with
       | Ok ((epoch, sources, impact), wall_s) ->
+          Mutex.lock t.lock;
+          t.repairing <- false;
           t.serving <- epoch;
           t.repair_s <- wall_s :: t.repair_s;
           Counters.incr t.counters "daemon.repairs";
@@ -153,20 +199,38 @@ let worker_loop t =
             (List.length impact.Dirty.dense_covers);
           Counters.set t.counters "daemon.epoch" epoch.id;
           Counters.set t.counters "daemon.backlog" (Queue.length t.pending);
-          repair_event t ~epoch_id:epoch.id ~batch ~sources ~impact ~wall_s
+          repair_event t ~epoch_id:epoch.id ~batch ~sources ~impact ~wall_s;
+          Condition.broadcast t.cond;
+          Mutex.unlock t.lock;
+          loop ~failures:0
       | Error msg ->
-          (* the daemon survives its repair worker: queries keep being
-             answered from the last-good epoch, sync reports the
-             poisoning instead of hanging *)
-          t.poisoned <- Some msg;
-          Counters.incr t.counters "daemon.repair.poisoned");
-      Condition.broadcast t.cond;
-      let poisoned = t.poisoned <> None in
-      Mutex.unlock t.lock;
-      if not poisoned then loop ()
+          let failures = failures + 1 in
+          if Guard.Backoff.exhausted backoff ~restart:failures then begin
+            (* the daemon survives its repair worker: queries keep being
+               answered from the last-good epoch, sync reports the
+               poisoning instead of hanging *)
+            Mutex.lock t.lock;
+            t.repairing <- false;
+            t.poisoned <- Some msg;
+            Counters.incr t.counters "daemon.repair.poisoned";
+            Condition.broadcast t.cond;
+            Mutex.unlock t.lock
+          end
+          else begin
+            let delay_s = Guard.Backoff.delay_s backoff ~restart:failures in
+            Mutex.lock t.lock;
+            t.repairing <- false;
+            requeue_front t batch;
+            Counters.incr t.counters "daemon.repair.restarts";
+            Counters.set t.counters "daemon.backlog" (Queue.length t.pending);
+            restart_event t ~restart:failures ~delay_s ~error:msg;
+            Mutex.unlock t.lock;
+            if delay_s > 0.0 then !Guard.Clock.sleep delay_s;
+            loop ~failures
+          end
     end
   in
-  loop ()
+  loop ~failures:0
 
 (* ---- construction ---------------------------------------------------- *)
 
@@ -174,23 +238,84 @@ let build_epoch ~params ~id apsp =
   let agm = Agm06.build ~params apsp in
   { id; graph = Apsp.graph apsp; apsp; agm; scheme = Agm06.scheme agm }
 
+(* Recovery: newest valid snapshot (if any) replaces the base graph,
+   then the checksummed journal suffix past the snapshot's recorded
+   offset is replayed on top, a torn or corrupt tail is truncated away,
+   and the journal is reopened in append mode with the sequence
+   continuing — so the recovered daemon's live graph is exactly the
+   acknowledged-mutation prefix that reached disk.  The serving epoch
+   is rebuilt from scratch at id 0 (epoch ids are per-process; answers
+   are identical modulo the id, which the equivalence tests pin). *)
+let recover_state ~base ~journal_path ~snapshot_dir =
+  let snap, skipped =
+    match snapshot_dir with Some dir -> Snapshot.load_latest dir | None -> (None, [])
+  in
+  let graph0, offset, expect_seq, snap_records, snapshot_epoch =
+    match snap with
+    | Some (_, s) ->
+        ( s.Gio.graph,
+          s.Gio.journal_offset,
+          Some (s.Gio.journal_records + 1),
+          s.Gio.journal_records,
+          Some s.Gio.epoch )
+    | None -> (base, 0, None, 0, None)
+  in
+  let live, seq, truncated_bytes, truncated_line =
+    match journal_path with
+    | Some path when Sys.file_exists path ->
+        let r = Journal.load ~offset ?expect_seq path in
+        let size = (Unix.stat path).Unix.st_size in
+        Journal.truncate_torn path r;
+        let live = List.fold_left Graph.apply graph0 r.Journal.mutations in
+        ( live,
+          snap_records + r.Journal.read_records,
+          size - r.Journal.valid_bytes,
+          Option.map (fun (tr : Journal.truncation) -> tr.Journal.lineno) r.Journal.truncation )
+    | _ -> (graph0, snap_records, 0, None)
+  in
+  let replayed = seq - snap_records in
+  ( live,
+    seq,
+    { snapshot_epoch; snapshots_skipped = List.length skipped; replayed; truncated_bytes;
+      truncated_line; recovery_s = 0.0 } )
+
 let create ?(policy = Guard.Policy.serving) ?(chaos = Guard.Chaos.none) ?(staleness_every = 32)
-    ?journal ?events ?repair_hook ?counters ~params graph =
+    ?(fsync = Journal.Every) ?journal ?snapshot_dir ?(snapshot_every = 64) ?(recover = false)
+    ?(restart_backoff = Guard.Backoff.repair) ?events ?repair_hook ?counters ~params graph =
   if staleness_every < 0 then invalid_arg "Daemon.create: staleness_every must be >= 0";
+  if snapshot_every < 0 then invalid_arg "Daemon.create: snapshot_every must be >= 0";
+  if snapshot_dir <> None && journal = None then
+    invalid_arg "Daemon.create: snapshots need a journal (the checkpoint records its offset)";
   let counters = match counters with Some c -> c | None -> Counters.create () in
-  let apsp = Apsp.compute_parallel graph in
+  let t0 = !Guard.Clock.now () in
+  let live, seq, recovered =
+    if recover then
+      let live, seq, rec_ = recover_state ~base:graph ~journal_path:journal ~snapshot_dir in
+      (live, seq, Some rec_)
+    else (graph, 0, None)
+  in
+  let apsp = Apsp.compute_parallel live in
   let serving = build_epoch ~params ~id:0 apsp in
-  let journal = Option.map open_out journal in
+  let recovered =
+    (* recovery time includes the epoch rebuild: it is the full
+       gap from process start to a serving daemon *)
+    Option.map (fun r -> { r with recovery_s = !Guard.Clock.now () -. t0 }) recovered
+  in
+  let journal =
+    Option.map (fun path -> Journal.create ~fsync ~append:recover ~seq path) journal
+  in
   let events = Option.map Jsonl.Writer.create events in
   let t =
     {
-      cfg = { params; policy; chaos; staleness_every; repair_hook };
+      cfg =
+        { params; policy; chaos; staleness_every; repair_hook; fsync; snapshot_every;
+          restart_backoff };
       counters;
       lock = Mutex.create ();
       cond = Condition.create ();
       pending = Queue.create ();
       serving;
-      live = graph;
+      live;
       repairing = false;
       poisoned = None;
       stop = false;
@@ -203,13 +328,27 @@ let create ?(policy = Guard.Policy.serving) ?(chaos = Guard.Chaos.none) ?(stalen
       repair_s = [];
       stale_stretch = [];
       journal;
+      snapshot_dir;
+      snapshots = 0;
+      last_snapshot = None;
+      recovered;
       events;
     }
   in
   Counters.set counters "daemon.epoch" 0;
   Counters.set counters "daemon.backlog" 0;
+  (match recovered with
+  | Some r ->
+      Counters.set counters "daemon.recovery.replayed" r.replayed;
+      Counters.set counters "daemon.recovery.truncated_bytes" r.truncated_bytes
+  | None -> ());
+  (match t.journal with
+  | Some w -> Counters.set counters "daemon.journal.bytes" (Journal.bytes w)
+  | None -> ());
   t.worker <- Some (Domain.spawn (fun () -> worker_loop t));
   t
+
+let recovery t = t.recovered
 
 let close t =
   Mutex.lock t.lock;
@@ -222,8 +361,34 @@ let close t =
       t.worker <- None
   | None -> ());
   (match t.journal with
-  | Some oc ->
-      close_out oc;
+  | Some w ->
+      Journal.close w;
+      t.journal <- None
+  | None -> ());
+  match t.events with
+  | Some w ->
+      Jsonl.Writer.close w;
+      t.events <- None
+  | None -> ()
+
+let crash t =
+  (* test seam for unclean death: stop the worker (a domain cannot be
+     killed mid-flight) but *abandon* the journal — buffered bytes are
+     lost exactly as on SIGKILL — and drop the event writer the same
+     way.  What recovery finds on disk afterwards is what a real crash
+     would have left. *)
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock;
+  (match t.worker with
+  | Some d ->
+      Domain.join d;
+      t.worker <- None
+  | None -> ());
+  (match t.journal with
+  | Some w ->
+      Journal.abandon w;
       t.journal <- None
   | None -> ());
   match t.events with
@@ -249,6 +414,12 @@ let backlog t =
 let live_graph t = t.live
 
 let counters t = t.counters
+
+let repair_times_s t =
+  Mutex.lock t.lock;
+  let xs = t.repair_s in
+  Mutex.unlock t.lock;
+  List.rev xs
 
 let quitting t = t.quit
 
@@ -414,6 +585,25 @@ let handle_query t kind u v =
 
 let normalized_floor = 1.0 -. 1e-9
 
+let take_snapshot t ~dir ~writer =
+  let snap =
+    {
+      Gio.epoch = epoch_id t;
+      journal_records = Journal.records writer;
+      journal_offset = Journal.bytes writer;
+      graph = t.live;
+    }
+  in
+  match Snapshot.write ~dir snap with
+  | _path ->
+      t.snapshots <- t.snapshots + 1;
+      t.last_snapshot <- Some (snap.Gio.epoch, !Guard.Clock.now ());
+      Counters.incr t.counters "daemon.snapshots"
+  | exception (Sys_error _ | Unix.Unix_error (_, _, _)) ->
+      (* a failed checkpoint must not kill serving; the previous
+         checkpoint (and the journal) still stand *)
+      Counters.incr t.counters "daemon.snapshot.failures"
+
 let accept_mutation t mu =
   Counters.incr t.counters "daemon.mutations";
   let weight_ok =
@@ -433,9 +623,18 @@ let accept_mutation t mu =
     | live ->
         t.live <- live;
         (match t.journal with
-        | Some oc ->
-            output_string oc (Graph.mutation_to_string mu ^ "\n");
-            flush oc
+        | Some w ->
+            (* durability point: [append] returns only once the record
+               is flushed per the fsync policy, so the [ok] below never
+               acknowledges a mutation a crash could lose *)
+            Journal.append w mu;
+            Counters.set t.counters "daemon.journal.bytes" (Journal.bytes w);
+            (match t.snapshot_dir with
+            | Some dir
+              when t.cfg.snapshot_every > 0 && Journal.records w mod t.cfg.snapshot_every = 0
+              ->
+                take_snapshot t ~dir ~writer:w
+            | _ -> ())
         | None -> ());
         Mutex.lock t.lock;
         Queue.push mu t.pending;
@@ -496,6 +695,31 @@ let stats_json t =
       ("stale_stretch_p50", Jsonl.float sp50);
       ("stale_stretch_p95", Jsonl.float sp95);
       ("stale_stretch_p99", Jsonl.float sp99);
+      (* durability state: what an operator needs to judge what a crash
+         right now would cost (DESIGN.md §10) *)
+      ( "fsync",
+        match t.journal with
+        | None -> "null"
+        | Some _ -> Jsonl.str (Journal.fsync_to_string t.cfg.fsync) );
+      ("journal_bytes", Jsonl.int (match t.journal with Some w -> Journal.bytes w | None -> 0));
+      ( "journal_records",
+        Jsonl.int (match t.journal with Some w -> Journal.records w | None -> 0) );
+      ("snapshots", Jsonl.int t.snapshots);
+      ( "last_snapshot_epoch",
+        match t.last_snapshot with Some (e, _) -> Jsonl.int e | None -> "null" );
+      ( "last_snapshot_age_s",
+        match t.last_snapshot with
+        | Some (_, at) -> Jsonl.float (!Guard.Clock.now () -. at)
+        | None -> "null" );
+      ("repair_restarts", Jsonl.int (c "daemon.repair.restarts"));
+      ("recovered", Jsonl.bool (t.recovered <> None));
+      ( "recovery_snapshot_epoch",
+        match t.recovered with Some { snapshot_epoch = Some e; _ } -> Jsonl.int e | _ -> "null"
+      );
+      ("recovery_replayed", Jsonl.int (match t.recovered with Some r -> r.replayed | None -> 0));
+      ( "recovery_truncated_bytes",
+        Jsonl.int (match t.recovered with Some r -> r.truncated_bytes | None -> 0) );
+      ("recovery_s", match t.recovered with Some r -> Jsonl.float r.recovery_s | None -> "null");
     ]
 
 (* ---- the protocol surface --------------------------------------------- *)

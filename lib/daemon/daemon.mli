@@ -30,13 +30,31 @@ type config = {
   chaos : Cr_guard.Chaos.t;
   staleness_every : int;
   repair_hook : (unit -> unit) option;
+  fsync : Journal.fsync;
+  snapshot_every : int;
+  restart_backoff : Cr_guard.Backoff.t;
+}
+
+(** What startup recovery found and did (DESIGN.md §10). *)
+type recovery = {
+  snapshot_epoch : int option;  (** epoch of the checkpoint used, if any *)
+  snapshots_skipped : int;  (** newer checkpoints rejected as corrupt *)
+  replayed : int;  (** journal records replayed past the checkpoint *)
+  truncated_bytes : int;  (** torn/corrupt journal tail cut off *)
+  truncated_line : int option;
+  recovery_s : float;  (** wall time from [create] to a serving epoch *)
 }
 
 val create :
   ?policy:Cr_guard.Policy.t ->
   ?chaos:Cr_guard.Chaos.t ->
   ?staleness_every:int ->
+  ?fsync:Journal.fsync ->
   ?journal:string ->
+  ?snapshot_dir:string ->
+  ?snapshot_every:int ->
+  ?recover:bool ->
+  ?restart_backoff:Cr_guard.Backoff.t ->
   ?events:string ->
   ?repair_hook:(unit -> unit) ->
   ?counters:Cr_obs.Counters.t ->
@@ -48,15 +66,34 @@ val create :
     spawns the repair domain.  [policy] defaults to
     [Cr_guard.Policy.serving], [chaos] to none.  [staleness_every]
     samples every Nth route answer against the live graph (0 disables;
-    default 32).  [journal] appends every accepted mutation to a file in
-    the {!Cr_graph.Gio} mutation-log format, flushed per line, so a
-    crashed session replays exactly.  [events] streams one strict-JSON
-    repair event per batch through {!Cr_util.Jsonl.Writer}.
-    [repair_hook] is a test seam: the repair worker calls it after
-    claiming a batch and before the epoch swap, so a test can prove
-    queries are answered mid-repair.
-    @raise Invalid_argument on a negative [staleness_every] or an
+    default 32).
+
+    Durability: [journal] logs every accepted mutation as a checksummed
+    {!Journal} record, made durable per [fsync] (default
+    {!Journal.fsync.Every}) {e before} the [ok] reply — an acknowledged
+    mutation survives a crash.  [snapshot_dir] additionally writes an
+    atomic {!Snapshot} checkpoint every [snapshot_every] (default 64)
+    journaled mutations (requires [journal]).  [~recover:true] starts
+    from the newest valid checkpoint in [snapshot_dir] plus the valid
+    journal suffix — truncating a torn tail — instead of the given
+    graph, reopening the journal in append mode; the given graph is the
+    base when nothing was persisted yet.  {!recovery} reports what was
+    found.  [restart_backoff] supervises the repair domain: a failed
+    batch is requeued and retried under capped exponential backoff
+    (default {!Cr_guard.Backoff.repair}); only
+    [restart_backoff.max_restarts] consecutive failures poison it.
+
+    [events] streams one strict-JSON repair event per batch through
+    {!Cr_util.Jsonl.Writer}.  [repair_hook] is a test seam: the repair
+    worker calls it after claiming a batch and before the epoch swap,
+    so a test can prove queries are answered mid-repair (and, raising,
+    that supervision restarts the worker).
+    @raise Invalid_argument on a negative [staleness_every] or
+    [snapshot_every], a [snapshot_dir] without [journal], or an
     unnormalized graph. *)
+
+val recovery : t -> recovery option
+(** [Some _] iff this daemon was created with [~recover:true]. *)
 
 val handle : t -> string -> string list
 (** Processes one protocol line, returning the response lines (each
@@ -87,10 +124,24 @@ val live_graph : t -> Cr_graph.Graph.t
 val counters : t -> Cr_obs.Counters.t
 (** The [daemon.*] / [guard.*] counters. *)
 
+val repair_times_s : t -> float list
+(** Per-batch repair wall times, oldest first — the raw series behind
+    the stats percentiles (benches compute their own). *)
+
 val stats_json : t -> string
 (** One strict-JSON object: epoch, backlog, query/mutation/repair
-    totals, repair latency percentiles and staleness measurements. *)
+    totals, repair latency percentiles, staleness measurements, and
+    durability state (fsync policy, journal size, snapshot age,
+    recovery summary). *)
 
 val close : t -> unit
-(** Stops and joins the repair worker and closes the journal and event
-    writers.  Safe to call once the serve loop has returned. *)
+(** Stops and joins the repair worker, flushes and closes the journal
+    (fsyncing unless the policy is [Off]) and the event writer.  Safe
+    to call once the serve loop has returned. *)
+
+val crash : t -> unit
+(** Unclean-death seam for tests: stops the worker but {e abandons}
+    the journal ({!Journal.abandon} — buffered unflushed bytes are
+    lost, as on SIGKILL).  The on-disk state afterwards is what a real
+    crash at this point would have left; recover with
+    [create ~recover:true]. *)

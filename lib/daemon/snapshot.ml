@@ -1,0 +1,82 @@
+module Gio = Cr_graph.Gio
+
+(* On-disk checkpoint store: a directory of [snapshot-<epoch>.crs]
+   files in the Gio snapshot codec.  Writes are atomic — full temp
+   file, then rename — so a crash mid-checkpoint leaves either the old
+   set of snapshots or the old set plus one complete new file, never a
+   half-written one that parses.  [Crashpoint.Mid_snapshot] sits
+   between the write and the rename: crashing there must leave the new
+   checkpoint simply absent.  Loading walks candidates newest-first and
+   skips any that fail to parse (checksum mismatch, torn write), so one
+   bad file degrades recovery to the previous checkpoint instead of
+   aborting it. *)
+
+let prefix = "snapshot-"
+
+let suffix = ".crs"
+
+let filename epoch = Printf.sprintf "%s%08d%s" prefix epoch suffix
+
+let path dir epoch = Filename.concat dir (filename epoch)
+
+let ensure_dir dir =
+  try Unix.mkdir dir 0o755 with
+  | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let list dir =
+  let entries = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.to_list entries
+  |> List.filter_map (fun name ->
+         if
+           String.length name > String.length prefix + String.length suffix
+           && String.starts_with ~prefix name
+           && Filename.check_suffix name suffix
+         then
+           let mid =
+             String.sub name (String.length prefix)
+               (String.length name - String.length prefix - String.length suffix)
+           in
+           Option.map (fun epoch -> (epoch, Filename.concat dir name)) (int_of_string_opt mid)
+         else None)
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let default_retain = 4
+
+let write ?(retain = default_retain) ~dir (snap : Gio.snapshot) =
+  ensure_dir dir;
+  let final = path dir snap.Gio.epoch in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc (Gio.snapshot_to_string snap);
+     flush oc;
+     (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Crashpoint.hit Crashpoint.Mid_snapshot;
+  Sys.rename tmp final;
+  (* prune beyond [retain], oldest first; never the one just written *)
+  list dir
+  |> List.filteri (fun i _ -> i >= retain)
+  |> List.iter (fun (_, p) -> try Sys.remove p with Sys_error _ -> ());
+  final
+
+let load_latest dir =
+  let rec walk skipped = function
+    | [] -> (None, List.rev skipped)
+    | (_, p) :: rest -> (
+        match
+          let ic = open_in_bin p in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> Gio.snapshot_of_string (really_input_string ic (in_channel_length ic)))
+        with
+        | snap -> (Some (p, snap), List.rev skipped)
+        | exception Gio.Parse_error (lineno, msg) ->
+            walk ((p, Printf.sprintf "line %d: %s" lineno msg) :: skipped) rest
+        | exception Sys_error msg -> walk ((p, msg) :: skipped) rest)
+  in
+  walk [] (list dir)

@@ -1,0 +1,28 @@
+(** Atomic snapshot checkpoint store.
+
+    A directory of [snapshot-<epoch>.crs] files in the
+    {!Cr_graph.Gio.snapshot} codec.  {!write} is atomic (full temp
+    file, fsync, rename), so a crash mid-checkpoint leaves the new
+    snapshot either complete or absent — never half-written.
+    {!load_latest} walks candidates newest-first and skips corrupt
+    ones, degrading to the previous checkpoint instead of failing. *)
+
+val path : string -> int -> string
+(** [path dir epoch] — where the snapshot for [epoch] lives. *)
+
+val list : string -> (int * string) list
+(** Snapshot [(epoch, path)] pairs present in [dir], newest first.
+    An unreadable or absent directory lists as empty. *)
+
+val default_retain : int
+
+val write : ?retain:int -> dir:string -> Cr_graph.Gio.snapshot -> string
+(** Atomically persist a checkpoint into [dir] (created if needed) and
+    prune all but the newest [retain] (default {!default_retain})
+    snapshots.  Fires {!Crashpoint.site.Mid_snapshot} between the temp
+    write and the rename.  Returns the final path. *)
+
+val load_latest : string -> (string * Cr_graph.Gio.snapshot) option * (string * string) list
+(** Newest snapshot that parses and checksums clean, as
+    [(path, snapshot)], plus the [(path, reason)] list of newer
+    candidates that were skipped as corrupt. *)

@@ -147,6 +147,69 @@ let load_mutations path =
       let len = in_channel_length ic in
       mutations_of_string (really_input_string ic len))
 
+(* ---- snapshot codec ----------------------------------------------------
+
+   A snapshot is a checkpoint of the daemon's durable state: the graph
+   with every acknowledged mutation applied, plus the journal position
+   that graph corresponds to (record count and byte offset), plus the
+   serving epoch id at checkpoint time.  The whole body is covered by a
+   CRC32 in the header line, so a snapshot interrupted mid-write (or
+   bit-rotted on disk) parses as invalid and recovery falls back to an
+   older checkpoint — it can never silently load half a graph. *)
+
+type snapshot = {
+  epoch : int;
+  journal_records : int;
+  journal_offset : int;
+  graph : Graph.t;
+}
+
+let snapshot_version = 1
+
+let snapshot_to_string s =
+  let body = to_string s.graph in
+  Printf.sprintf "snapshot %d %d %d %d %s\n%s" snapshot_version s.epoch s.journal_records
+    s.journal_offset
+    (Cr_util.Crc.to_hex (Cr_util.Crc.string body))
+    body
+
+let snapshot_of_string text =
+  let fail lineno fmt = Printf.ksprintf (fun msg -> raise (Parse_error (lineno, msg))) fmt in
+  let header, body =
+    match String.index_opt text '\n' with
+    | Some i -> (String.sub text 0 i, String.sub text (i + 1) (String.length text - i - 1))
+    | None -> fail 1 "missing snapshot body"
+  in
+  match String.split_on_char ' ' (String.trim header) |> List.filter (fun t -> t <> "") with
+  | [ "snapshot"; sv; se; sr; so; scrc ] ->
+      let parse_int what tok =
+        match int_of_string_opt tok with
+        | Some v when v >= 0 -> v
+        | Some v -> fail 1 "negative %s %d" what v
+        | None -> fail 1 "malformed %s %S (expected an integer)" what tok
+      in
+      let v = parse_int "snapshot version" sv in
+      if v <> snapshot_version then fail 1 "unsupported snapshot version %d (expected %d)" v snapshot_version;
+      let epoch = parse_int "epoch" se in
+      let journal_records = parse_int "journal record count" sr in
+      let journal_offset = parse_int "journal offset" so in
+      let expected =
+        match Cr_util.Crc.of_hex scrc with
+        | Some c -> c
+        | None -> fail 1 "malformed snapshot checksum %S" scrc
+      in
+      let actual = Cr_util.Crc.string body in
+      if actual <> expected then
+        fail 1 "snapshot checksum mismatch (header %s, body %s): torn or corrupt write"
+          scrc (Cr_util.Crc.to_hex actual);
+      let graph =
+        (* body line numbers are offset by the header line *)
+        try of_string body with Parse_error (l, msg) -> raise (Parse_error (l + 1, msg))
+      in
+      { epoch; journal_records; journal_offset; graph }
+  | "snapshot" :: _ -> fail 1 "wrong number of fields for snapshot header"
+  | _ -> fail 1 "missing snapshot header"
+
 let save g path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string g))

@@ -57,3 +57,32 @@ val load_mutations : string -> Graph.mutation list
 val load : string -> Graph.t
 (** [load path] parses a file.
     @raise Sys_error or {!Parse_error}. *)
+
+(** {2 Snapshot codec}
+
+    A durability checkpoint: a graph together with the journal position
+    it corresponds to ([journal_records] mutation records applied,
+    journal byte offset [journal_offset]) and the serving epoch at
+    checkpoint time.  Serialized as a one-line header carrying a CRC32
+    of the whole body, then the {!to_string} graph body:
+    {v
+    snapshot 1 <epoch> <journal_records> <journal_offset> <crc32hex>
+    graph <n> <m>
+    ...
+    v}
+    A truncated or corrupted snapshot fails the checksum and parses as
+    {!Parse_error} — recovery falls back to an older checkpoint rather
+    than loading half a graph. *)
+
+type snapshot = {
+  epoch : int;
+  journal_records : int;
+  journal_offset : int;
+  graph : Graph.t;
+}
+
+val snapshot_to_string : snapshot -> string
+
+val snapshot_of_string : string -> snapshot
+(** @raise Parse_error on a malformed header, a checksum mismatch
+    (torn/corrupt write) or a malformed graph body. *)

@@ -1,0 +1,31 @@
+(* Capped exponential backoff for supervised restarts.
+
+   Retry (this library) paces attempts of one query; Backoff paces
+   restarts of a *component* — the daemon's repair domain being the
+   first client.  The schedule is deterministic (no jitter: a
+   supervisor restarting a singleton worker has nobody to desynchronize
+   from) and explicitly capped in both delay and restart count, so a
+   deterministically failing component degrades to a permanent,
+   reported failure instead of an unbounded restart loop. *)
+
+type t = {
+  base_s : float;  (* delay before restart 1 *)
+  multiplier : float;  (* growth per further restart *)
+  cap_s : float;  (* delay ceiling *)
+  max_restarts : int;  (* consecutive failures tolerated before giving up *)
+}
+
+let make ?(base_s = 0.01) ?(multiplier = 2.0) ?(cap_s = 1.0) ?(max_restarts = 5) () =
+  if not (base_s >= 0.0) then invalid_arg "Backoff.make: negative base_s";
+  if not (multiplier >= 1.0) then invalid_arg "Backoff.make: multiplier must be >= 1";
+  if not (cap_s >= base_s) then invalid_arg "Backoff.make: cap_s must be >= base_s";
+  if max_restarts < 0 then invalid_arg "Backoff.make: negative max_restarts";
+  { base_s; multiplier; cap_s; max_restarts }
+
+let repair = make ()
+
+let delay_s t ~restart =
+  if restart < 1 then invalid_arg "Backoff.delay_s: restart must be >= 1";
+  Float.min t.cap_s (t.base_s *. (t.multiplier ** float_of_int (restart - 1)))
+
+let exhausted t ~restart = restart > t.max_restarts

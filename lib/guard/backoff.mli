@@ -1,0 +1,37 @@
+(** Capped exponential backoff for supervised component restarts.
+
+    {!Retry} paces attempts of one query; [Backoff] paces restarts of a
+    component (the daemon's repair domain).  Deterministic, capped in
+    both delay and count: after [max_restarts] consecutive failures the
+    supervisor should stop restarting and report the component dead. *)
+
+type t = {
+  base_s : float;
+  multiplier : float;
+  cap_s : float;
+  max_restarts : int;
+}
+
+val make :
+  ?base_s:float ->
+  ?multiplier:float ->
+  ?cap_s:float ->
+  ?max_restarts:int ->
+  unit ->
+  t
+(** Defaults: base 10ms, doubling, capped at 1s, 5 restarts.
+    @raise Invalid_argument on negative [base_s]/[max_restarts],
+    [multiplier < 1] or [cap_s < base_s]. *)
+
+val repair : t
+(** The default schedule for the daemon's repair supervisor
+    ([make ()]). *)
+
+val delay_s : t -> restart:int -> float
+(** Delay before the [restart]-th consecutive restart (1-based):
+    [min cap_s (base_s * multiplier^(restart-1))].
+    @raise Invalid_argument if [restart < 1]. *)
+
+val exhausted : t -> restart:int -> bool
+(** Whether the [restart]-th restart exceeds the budget
+    ([restart > max_restarts]). *)

@@ -1,0 +1,37 @@
+(* CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the zlib
+   checksum.  The durability layer stamps every journal record and
+   snapshot body with it so a torn or bit-rotted write is detected at
+   recovery instead of silently replayed.  Table-driven, one table
+   computed at module load; values live in [0, 2^32) as OCaml ints
+   (the runtime is 64-bit). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s =
+  let table = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let string s = update 0 s
+
+let to_hex c = Printf.sprintf "%08x" (c land 0xFFFFFFFF)
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    let ok =
+      String.for_all
+        (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+        s
+    in
+    if ok then int_of_string_opt ("0x" ^ s) else None

@@ -1,0 +1,19 @@
+(** CRC-32 (IEEE 802.3 / zlib) checksums.
+
+    Used by the durability layer: every daemon journal record and every
+    snapshot body carries its CRC so recovery can tell a torn or
+    corrupted write from valid data.  Checksums are ints in
+    [0, 2{^32}). *)
+
+val string : string -> int
+(** CRC-32 of a whole string. *)
+
+val update : int -> string -> int
+(** [update crc s] extends a running checksum: [update (string a) b =
+    string (a ^ b)]. *)
+
+val to_hex : int -> string
+(** Fixed-width 8-digit lowercase hex (["%08x"]). *)
+
+val of_hex : string -> int option
+(** Inverse of {!to_hex}: exactly 8 hex digits, else [None]. *)

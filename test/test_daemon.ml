@@ -1,7 +1,9 @@
 (* Tests for the cr_daemon library: protocol parsing, the daemon's
    epoch lifecycle, repair equivalence (incremental repair converges to
    exactly the state a from-scratch build would produce), mid-repair
-   serving under chaos, admission control, and the mutation journal. *)
+   serving under chaos, admission control, the checksummed mutation
+   journal, snapshot checkpoints, crashpoint-injected recovery and
+   repair-worker supervision. *)
 
 module Rng = Cr_util.Rng
 module Jsonl = Cr_util.Jsonl
@@ -11,6 +13,9 @@ module Apsp = Cr_graph.Apsp
 module Generators = Cr_graph.Generators
 module Guard = Cr_guard
 module Daemon = Cr_daemon.Daemon
+module Journal = Cr_daemon.Journal
+module Snapshot = Cr_daemon.Snapshot
+module Crashpoint = Cr_daemon.Crashpoint
 module Protocol = Cr_daemon.Protocol
 module Dirty = Cr_daemon.Dirty
 open Compact_routing
@@ -192,9 +197,10 @@ let test_journal_replays () =
       (match Daemon.sync d with Ok _ -> () | Error e -> Alcotest.failf "sync: %s" e);
       let live = Daemon.live_graph d in
       Daemon.close d;
-      let mus = Gio.load_mutations path in
-      checki "three journal lines" 3 (List.length mus);
-      let replayed = Graph.apply_all g mus in
+      let r = Journal.load path in
+      checki "three journal records" 3 r.Journal.read_records;
+      checkb "journal fully valid" true (r.Journal.truncation = None);
+      let replayed = Graph.apply_all g r.Journal.mutations in
       checki "same m" (Graph.m live) (Graph.m replayed);
       Graph.iter_edges live (fun a b w ->
           checkb "same edges" true (Graph.edge_weight replayed a b = Some w)))
@@ -362,6 +368,365 @@ let test_dirty_assessment () =
   let clean = Dirty.assess agm apsp (Graph.Node_up 0) in
   checkb "nodeup touches nothing" true (clean = Dirty.no_impact)
 
+(* ------------------------------------------------------------------ *)
+(* Durability & recovery (DESIGN.md §10).  The invariant under test: a
+   daemon recovered from disk answers exactly like a daemon that never
+   crashed, over the mutation prefix that reached the journal — and a
+   torn or corrupt journal tail is a clean truncation, never a crash. *)
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "crdur" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir)
+
+(* [count] mutations, each applicable to the graph the previous ones
+   produce — the same churn the daemon would accept *)
+let script g seed count =
+  let rng = Rng.create (1000 + seed) in
+  let rec go acc g k =
+    if k = 0 then List.rev acc
+    else
+      let mu = random_mutation rng g in
+      match Graph.apply g mu with
+      | g' -> go (mu :: acc) g' (k - 1)
+      | exception Invalid_argument _ -> go acc g k
+  in
+  go [] g count
+
+let apply_prefix g mus k = Graph.apply_all g (List.filteri (fun i _ -> i < k) mus)
+
+let test_journal_roundtrip_policies () =
+  let g = mk_graph ~n:24 41 in
+  let mus = script g 41 7 in
+  List.iter
+    (fun fsync ->
+      in_temp_dir (fun dir ->
+          let path = Filename.concat dir "j.log" in
+          let w = Journal.create ~fsync path in
+          List.iter (Journal.append w) mus;
+          checki "writer counted records" (List.length mus) (Journal.records w);
+          let bytes = Journal.bytes w in
+          Journal.close w;
+          checki "bytes match the file" bytes (Unix.stat path).Unix.st_size;
+          let r = Journal.load ~expect_seq:1 path in
+          checkb "no truncation" true (r.Journal.truncation = None);
+          checki "all records back" (List.length mus) r.Journal.read_records;
+          checki "valid to the end" bytes r.Journal.valid_bytes;
+          checkb "same mutations" true (r.Journal.mutations = mus)))
+    [ Journal.Every; Journal.Batch 3; Journal.Off ]
+
+let test_journal_torn_at_any_byte () =
+  let g = mk_graph ~n:24 43 in
+  let mus = script g 43 6 in
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "j.log" in
+      let w = Journal.create ~fsync:Journal.Off path in
+      List.iter (Journal.append w) mus;
+      Journal.close w;
+      let full =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let torn = Filename.concat dir "torn.log" in
+      (* a crash can cut the file at any byte: the reader must return
+         the exact valid record prefix at every single cut, and [load]
+         must never raise *)
+      for cut = 0 to String.length full - 1 do
+        let oc = open_out_bin torn in
+        output_string oc (String.sub full 0 cut);
+        close_out oc;
+        let r = Journal.load ~expect_seq:1 torn in
+        checkb "valid prefix only" true
+          (r.Journal.mutations = List.filteri (fun i _ -> i < r.Journal.read_records) mus);
+        checkb "valid_bytes within cut" true (r.Journal.valid_bytes <= cut);
+        (* anything short of the full file must flag the damage unless
+           the cut fell exactly on a line boundary *)
+        if r.Journal.truncation = None then
+          checkb "clean cut is a whole line" true (cut = 0 || full.[cut - 1] = '\n')
+      done;
+      let r = Journal.load ~expect_seq:1 path in
+      checki "untouched file reads whole" (List.length mus) r.Journal.read_records)
+
+let crc_line seq mu =
+  let payload = Printf.sprintf "%d %s" seq (Graph.mutation_to_string mu) in
+  Printf.sprintf "r %s %s\n" (Cr_util.Crc.to_hex (Cr_util.Crc.string payload)) payload
+
+let test_journal_rejects_bad_sequence_and_crc () =
+  let g = mk_graph ~n:24 47 in
+  let mus = script g 47 3 in
+  let m1, m2, m3 =
+    match mus with [ a; b; c ] -> (a, b, c) | _ -> Alcotest.fail "script too short"
+  in
+  in_temp_dir (fun dir ->
+      let write name lines =
+        let p = Filename.concat dir name in
+        let oc = open_out p in
+        List.iter (output_string oc) lines;
+        close_out oc;
+        p
+      in
+      (* a sequence gap means a lost middle record: stop before it *)
+      let p = write "gap.log" [ crc_line 1 m1; crc_line 3 m2 ] in
+      let r = Journal.load ~expect_seq:1 p in
+      checki "stops at the gap" 1 r.Journal.read_records;
+      checkb "gap reported" true
+        (match r.Journal.truncation with
+        | Some tr -> contains tr.Journal.reason "sequence"
+        | None -> false);
+      (* a corrupted payload fails the checksum even when it parses *)
+      let good = crc_line 2 m2 in
+      let evil = crc_line 2 m3 in
+      let forged =
+        (* CRC of one record, payload of another *)
+        String.sub good 0 11 ^ String.sub evil 11 (String.length evil - 11)
+      in
+      let p = write "crc.log" [ crc_line 1 m1; forged ] in
+      let r = Journal.load ~expect_seq:1 p in
+      checki "stops at the forgery" 1 r.Journal.read_records;
+      checkb "checksum reported" true
+        (match r.Journal.truncation with
+        | Some tr -> contains tr.Journal.reason "checksum"
+        | None -> false);
+      (* expect_seq pins the first record of a recovery suffix *)
+      let p = write "seq.log" [ crc_line 1 m1 ] in
+      let r = Journal.load ~expect_seq:2 p in
+      checki "wrong starting seq rejected" 0 r.Journal.read_records;
+      (* legacy journals (bare mutation lines) still load *)
+      let p = write "legacy.log" [ Graph.mutation_to_string m1 ^ "\n" ] in
+      let r = Journal.load p in
+      checki "legacy line loads" 1 r.Journal.read_records;
+      checkb "legacy mutation intact" true (r.Journal.mutations = [ m1 ]))
+
+let test_snapshot_roundtrip_and_fallback () =
+  let g = mk_graph ~n:24 53 in
+  let mus = script g 53 4 in
+  in_temp_dir (fun dir ->
+      let snap1 = { Gio.epoch = 1; journal_records = 2; journal_offset = 100;
+                    graph = apply_prefix g mus 2 } in
+      let snap2 = { Gio.epoch = 2; journal_records = 4; journal_offset = 200;
+                    graph = apply_prefix g mus 4 } in
+      ignore (Snapshot.write ~dir snap1);
+      let p2 = Snapshot.write ~dir snap2 in
+      (match Snapshot.load_latest dir with
+      | Some (p, s), [] ->
+          checks "newest wins" p2 p;
+          checki "epoch" 2 s.Gio.epoch;
+          checki "records" 4 s.Gio.journal_records;
+          checks "graph round-trips" (Gio.to_string snap2.Gio.graph) (Gio.to_string s.Gio.graph)
+      | _ -> Alcotest.fail "expected the newest snapshot, nothing skipped");
+      (* tear the newest checkpoint mid-file: the checksum fails and
+         recovery silently falls back to the older one *)
+      let half =
+        let ic = open_in_bin p2 in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic / 2))
+      in
+      let oc = open_out_bin p2 in
+      output_string oc half;
+      close_out oc;
+      match Snapshot.load_latest dir with
+      | Some (_, s), [ (skipped, reason) ] ->
+          checki "fell back to the older epoch" 1 s.Gio.epoch;
+          checks "the torn file was skipped" p2 skipped;
+          checkb "reason names the damage" true
+            (contains reason "checksum" || contains reason "snapshot")
+      | _ -> Alcotest.fail "expected fallback to the older snapshot")
+
+let test_recovery_equivalence_snapshot_plus_suffix () =
+  (* the qcheck-style pin for recovery: for a random script and a
+     random checkpoint position, snapshot-at-c + journal-suffix replay
+     produces the identical graph to a full journal replay *)
+  for seed = 1 to 10 do
+    let rng = Rng.create (7000 + seed) in
+    let n = 16 + Rng.int rng 16 in
+    let g = mk_graph ~n seed in
+    let mus = script g seed (4 + Rng.int rng 8) in
+    let len = List.length mus in
+    in_temp_dir (fun dir ->
+        let path = Filename.concat dir "j.log" in
+        let w = Journal.create ~fsync:Journal.Off path in
+        let offsets = Array.make (len + 1) (Journal.bytes w) in
+        List.iteri
+          (fun i mu ->
+            Journal.append w mu;
+            offsets.(i + 1) <- Journal.bytes w)
+          mus;
+        Journal.close w;
+        let c = Rng.int rng (len + 1) in
+        ignore
+          (Snapshot.write ~dir
+             { Gio.epoch = c; journal_records = c; journal_offset = offsets.(c);
+               graph = apply_prefix g mus c });
+        let snap =
+          match Snapshot.load_latest dir with
+          | Some (_, s), _ -> s
+          | None, _ -> Alcotest.fail "snapshot vanished"
+        in
+        let r =
+          Journal.load ~offset:snap.Gio.journal_offset
+            ~expect_seq:(snap.Gio.journal_records + 1) path
+        in
+        checkb "suffix fully valid" true (r.Journal.truncation = None);
+        checki "suffix length" (len - c) r.Journal.read_records;
+        let via_snapshot = Graph.apply_all snap.Gio.graph r.Journal.mutations in
+        let full = Graph.apply_all g (Journal.load path).Journal.mutations in
+        checks
+          (Printf.sprintf "seed %d cut %d/%d" seed c len)
+          (Gio.to_string full) (Gio.to_string via_snapshot))
+  done
+
+(* one crashpoint test per site: arm, churn until the crash fires,
+   recover from what is on disk, and pin exactly which prefix survived *)
+let crashpoint_case site ~after ~survives =
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "journal.log" in
+      let g = mk_graph ~n:24 59 in
+      let mus = script g 59 5 in
+      let d =
+        Daemon.create ~policy:Guard.Policy.off ~staleness_every:0 ~journal:path
+          ~snapshot_dir:dir ~snapshot_every:2 ~params g
+      in
+      Crashpoint.arm_raise ~after site;
+      let acked = ref 0 in
+      (try
+         List.iter
+           (fun mu ->
+             ignore (Daemon.handle d (Graph.mutation_to_string mu));
+             incr acked)
+           mus
+       with Crashpoint.Crashed s ->
+         checkb "crashed at the armed site" true (s = site));
+      Crashpoint.disarm ();
+      Daemon.crash d;
+      let r =
+        Daemon.create ~policy:Guard.Policy.off ~staleness_every:0 ~journal:path
+          ~snapshot_dir:dir ~recover:true ~params g
+      in
+      let expected = apply_prefix g mus survives in
+      checks
+        (Printf.sprintf "recovered live graph = first %d mutations" survives)
+        (Gio.to_string expected)
+        (Gio.to_string (Daemon.live_graph r));
+      let info = match Daemon.recovery r with Some i -> i | None -> Alcotest.fail "no recovery info" in
+      (match Jsonl.validate (Daemon.stats_json r) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "recovered stats json invalid: %s" e);
+      Daemon.close r;
+      (!acked, info))
+
+let test_crash_pre_flush () =
+  (* the 3rd append crashes before its flush: the record is lost with
+     its ack never sent — recovery must surface exactly 2 mutations
+     (checkpointed at 2, empty suffix) *)
+  let acked, info = crashpoint_case Crashpoint.Pre_flush ~after:3 ~survives:2 in
+  checki "two mutations acked" 2 acked;
+  checki "recovered from the checkpoint" 2
+    (match info.Daemon.snapshot_epoch with Some _ -> 2 | None -> -1);
+  checki "nothing to replay" 0 info.Daemon.replayed
+
+let test_crash_post_flush_pre_ack () =
+  (* the 3rd record is durable but unacknowledged: recovery replays it
+     — [ok] means durable, and durable-but-unacked may resurface *)
+  let acked, info = crashpoint_case Crashpoint.Post_flush_pre_ack ~after:3 ~survives:3 in
+  checki "two mutations acked" 2 acked;
+  checki "the durable unacked record replays" 1 info.Daemon.replayed
+
+let test_crash_mid_snapshot () =
+  (* the checkpoint at record 2 crashes between temp write and rename:
+     the snapshot must simply not exist, and the journal alone recovers
+     both durable records *)
+  let acked, info = crashpoint_case Crashpoint.Mid_snapshot ~after:1 ~survives:2 in
+  checki "one mutation acked" 1 acked;
+  checkb "no snapshot survived" true (info.Daemon.snapshot_epoch = None);
+  checki "journal replayed both records" 2 info.Daemon.replayed
+
+let test_daemon_crash_loses_unflushed_recover_matches () =
+  (* end-to-end: with fsync off nothing is buffered past [append]'s
+     flush, so an abandoned daemon recovers to exactly its live graph,
+     and the recovered daemon answers like a never-crashed one *)
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "journal.log" in
+      let g = mk_graph ~n:32 61 in
+      let mus = script g 61 6 in
+      let d =
+        Daemon.create ~policy:Guard.Policy.off ~staleness_every:0 ~journal:path
+          ~snapshot_dir:dir ~snapshot_every:3 ~params g
+      in
+      List.iter (fun mu -> ignore (Daemon.handle d (Graph.mutation_to_string mu))) mus;
+      let live = Gio.to_string (Daemon.live_graph d) in
+      Daemon.crash d;
+      let r =
+        Daemon.create ~policy:Guard.Policy.off ~staleness_every:0 ~journal:path
+          ~snapshot_dir:dir ~recover:true ~params g
+      in
+      checks "recovered = live at crash" live (Gio.to_string (Daemon.live_graph r));
+      let fresh =
+        Daemon.create ~policy:Guard.Policy.off ~staleness_every:0 ~params
+          (Daemon.live_graph r)
+      in
+      let rng = Rng.create 61 in
+      let pairs = List.init 24 (fun _ -> (Rng.int rng 32, Rng.int rng 32)) in
+      let a = List.map strip_epoch (answers r pairs)
+      and b = List.map strip_epoch (answers fresh pairs) in
+      Daemon.close r;
+      Daemon.close fresh;
+      List.iter2 (fun x y -> checks "recovered answers match fresh" y x) a b)
+
+(* ------------------------------------------------------------------ *)
+(* Repair-worker supervision *)
+
+let test_repair_restarts_then_succeeds () =
+  let g = mk_graph ~n:24 67 in
+  let remaining = Atomic.make 2 in
+  let hook () =
+    if Atomic.fetch_and_add remaining (-1) > 0 then failwith "injected repair fault"
+  in
+  let backoff = Guard.Backoff.make ~base_s:0.001 ~cap_s:0.01 ~max_restarts:5 () in
+  let d =
+    Daemon.create ~policy:Guard.Policy.off ~staleness_every:0 ~repair_hook:hook
+      ~restart_backoff:backoff ~params g
+  in
+  let u, v, _ = List.hd (Graph.edges g) in
+  ignore (feed d (Printf.sprintf "linkdown %d %d" u v));
+  (match Daemon.sync d with
+  | Ok id -> checki "repaired after transient faults" 1 id
+  | Error e -> Alcotest.failf "worker was poisoned by a transient fault: %s" e);
+  checki "restarts counted" 2 (Cr_obs.Counters.get (Daemon.counters d) "daemon.repair.restarts");
+  checki "never poisoned" 0 (Cr_obs.Counters.get (Daemon.counters d) "daemon.repair.poisoned");
+  Daemon.close d
+
+let test_repair_poisons_after_cap () =
+  let g = mk_graph ~n:24 71 in
+  let hook () = failwith "permanent repair fault" in
+  let backoff = Guard.Backoff.make ~base_s:0.001 ~cap_s:0.01 ~max_restarts:2 () in
+  let d =
+    Daemon.create ~policy:Guard.Policy.off ~staleness_every:0 ~repair_hook:hook
+      ~restart_backoff:backoff ~params g
+  in
+  let u, v, _ = List.hd (Graph.edges g) in
+  ignore (feed d (Printf.sprintf "linkdown %d %d" u v));
+  (match Daemon.sync d with
+  | Ok _ -> Alcotest.fail "expected poisoning"
+  | Error msg -> checkb "error names the fault" true (contains msg "permanent repair fault"));
+  checki "restarted up to the cap" 2
+    (Cr_obs.Counters.get (Daemon.counters d) "daemon.repair.restarts");
+  checki "then poisoned" 1 (Cr_obs.Counters.get (Daemon.counters d) "daemon.repair.poisoned");
+  (* the daemon survives: queries still answered from the last-good epoch *)
+  let r = feed1 d "route 0 5" in
+  checkb "still serving" true (contains r "ok route");
+  Daemon.close d
+
 let () =
   Alcotest.run "daemon"
     [
@@ -393,5 +758,33 @@ let () =
         [
           Alcotest.test_case "incremental equals from-scratch" `Slow test_repair_equivalence;
           Alcotest.test_case "dirty assessment" `Quick test_dirty_assessment;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "journal round-trips under every fsync policy" `Quick
+            test_journal_roundtrip_policies;
+          Alcotest.test_case "journal torn at any byte yields the valid prefix" `Quick
+            test_journal_torn_at_any_byte;
+          Alcotest.test_case "journal rejects sequence gaps and forged checksums" `Quick
+            test_journal_rejects_bad_sequence_and_crc;
+          Alcotest.test_case "snapshot round-trips and falls back past corruption" `Quick
+            test_snapshot_roundtrip_and_fallback;
+          Alcotest.test_case "snapshot plus suffix equals full replay" `Slow
+            test_recovery_equivalence_snapshot_plus_suffix;
+          Alcotest.test_case "crash pre-flush loses only the unacked record" `Quick
+            test_crash_pre_flush;
+          Alcotest.test_case "crash post-flush replays the durable unacked record" `Quick
+            test_crash_post_flush_pre_ack;
+          Alcotest.test_case "crash mid-snapshot leaves no checkpoint" `Quick
+            test_crash_mid_snapshot;
+          Alcotest.test_case "crashed daemon recovers to identical answers" `Slow
+            test_daemon_crash_loses_unflushed_recover_matches;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "transient repair faults restart the worker" `Quick
+            test_repair_restarts_then_succeeds;
+          Alcotest.test_case "persistent repair faults poison after the cap" `Quick
+            test_repair_poisons_after_cap;
         ] );
     ]

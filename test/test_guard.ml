@@ -637,6 +637,35 @@ let test_chaos_sweep_grid () =
   | [] -> Alcotest.fail "empty sweep"
 
 (* ------------------------------------------------------------------ *)
+(* Backoff (restart supervision) *)
+
+module Backoff = Cr_guard.Backoff
+
+let test_backoff_delays_grow_and_cap () =
+  let b = Backoff.make ~base_s:0.01 ~multiplier:2.0 ~cap_s:0.05 ~max_restarts:10 () in
+  checkf "first delay is the base" 0.01 (Backoff.delay_s b ~restart:1);
+  checkf "doubles" 0.02 (Backoff.delay_s b ~restart:2);
+  checkf "doubles again" 0.04 (Backoff.delay_s b ~restart:3);
+  checkf "capped" 0.05 (Backoff.delay_s b ~restart:4);
+  checkf "stays capped" 0.05 (Backoff.delay_s b ~restart:9)
+
+let test_backoff_exhaustion_boundary () =
+  let b = Backoff.make ~max_restarts:3 () in
+  checkb "within budget" false (Backoff.exhausted b ~restart:3);
+  checkb "one past the cap" true (Backoff.exhausted b ~restart:4)
+
+let test_backoff_validation () =
+  let raises msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  ignore (Backoff.make ());
+  ignore Backoff.repair;
+  raises "Backoff.make: negative base_s" (fun () ->
+      ignore (Backoff.make ~base_s:(-0.01) ()));
+  raises "Backoff.make: multiplier must be >= 1" (fun () ->
+      ignore (Backoff.make ~multiplier:0.5 ()));
+  raises "Backoff.make: cap_s must be >= base_s" (fun () ->
+      ignore (Backoff.make ~base_s:0.1 ~cap_s:0.01 ()));
+  raises "Backoff.make: negative max_restarts" (fun () ->
+      ignore (Backoff.make ~max_restarts:(-1) ()))
 
 let () =
   Alcotest.run "guard"
@@ -677,6 +706,12 @@ let () =
         [
           Alcotest.test_case "queue depth" `Quick test_shed_queue_depth;
           Alcotest.test_case "deadline feasibility" `Quick test_shed_deadline_feasibility;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "delays grow and cap" `Quick test_backoff_delays_grow_and_cap;
+          Alcotest.test_case "exhaustion boundary" `Quick test_backoff_exhaustion_boundary;
+          Alcotest.test_case "validation" `Quick test_backoff_validation;
         ] );
       ( "chaos_plan",
         [

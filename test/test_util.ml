@@ -1,5 +1,5 @@
 (* Tests for the cr_util library: PRNG, statistics, bit accounting,
-   digit hashing, table rendering. *)
+   digit hashing, table rendering, CRC32 checksums. *)
 
 module Rng = Cr_util.Rng
 module Stats = Cr_util.Stats
@@ -501,6 +501,36 @@ let test_fmt_bits () =
   check Alcotest.string "mbit" "1.00 Mbit" (Ascii_table.fmt_bits 1048576)
 
 (* ------------------------------------------------------------------ *)
+(* Crc *)
+
+module Crc = Cr_util.Crc
+
+let test_crc_known_vectors () =
+  (* the standard CRC-32 (IEEE/zlib) check values *)
+  checki "empty" 0 (Crc.string "");
+  checki "123456789" 0xCBF43926 (Crc.string "123456789");
+  checki "quick brown fox" 0x414FA339
+    (Crc.string "The quick brown fox jumps over the lazy dog")
+
+let test_crc_streaming_matches_whole () =
+  let a = "r 42 setw 0 1 " and b = "3.5\nand more bytes" in
+  checki "update composes" (Crc.string (a ^ b)) (Crc.update (Crc.string a) b)
+
+let test_crc_hex_roundtrip () =
+  List.iter
+    (fun s ->
+      let c = Crc.string s in
+      let hex = Crc.to_hex c in
+      checki "8 hex digits" 8 (String.length hex);
+      match Crc.of_hex hex with
+      | Some c' -> checki (Printf.sprintf "roundtrip %S" s) c c'
+      | None -> Alcotest.failf "of_hex rejected %S" hex)
+    [ ""; "x"; "123456789"; "r 3 linkdown 0 1" ];
+  checkb "rejects short" true (Crc.of_hex "abc" = None);
+  checkb "rejects long" true (Crc.of_hex "0123456789" = None);
+  checkb "rejects non-hex" true (Crc.of_hex "xyzw1234" = None)
+
+(* ------------------------------------------------------------------ *)
 (* qcheck properties *)
 
 let qcheck_tests =
@@ -614,6 +644,12 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
           Alcotest.test_case "fmt bits" `Quick test_fmt_bits;
+        ] );
+      ( "crc",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc_known_vectors;
+          Alcotest.test_case "streaming update composes" `Quick test_crc_streaming_matches_whole;
+          Alcotest.test_case "hex roundtrip" `Quick test_crc_hex_roundtrip;
         ] );
       ("properties", qsuite);
     ]
