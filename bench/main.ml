@@ -1106,12 +1106,152 @@ let d1 () =
     snapshot_every !accepted
 
 (* ------------------------------------------------------------------ *)
+(* O1: path-reporting distance oracles — quality, size, speed vs k      *)
+
+let o1 () =
+  header "O1: path-reporting oracles — stretch/size/speed vs k across topologies";
+  let module Po = Cr_oracle.Path_oracle in
+  let module So = Cr_oracle.Sparse_oracle in
+  let module Oserve = Cr_oracle.Oserve in
+  let n = scale 512 in
+  let side = int_of_float (Float.round (sqrt (float_of_int n))) in
+  let workloads =
+    [
+      Experiment.Erdos_renyi { n; avg_degree = 4.0 };
+      Experiment.Grid { rows = side; cols = side };
+      Experiment.Power_law { n; exponent = 2.5 };
+    ]
+  in
+  let ks = if fast then [ 2; 3 ] else [ 2; 3; 4; 5 ] in
+  let queries = scale 8000 in
+  let domains = if fast then 1 else 2 in
+  let table =
+    T.create
+      ~title:
+        (Printf.sprintf "%d zipf:1.1 oracle queries per cell, every walk refereed; domains=%d"
+           queries domains)
+      [
+        ("workload", T.Left); ("oracle", T.Left); ("bound", T.Right); ("build s", T.Right);
+        ("entries", T.Right); ("bits/node", T.Right); ("queries/s", T.Right); ("ok", T.Right);
+        ("stretch mean", T.Right); ("max", T.Right);
+      ]
+  in
+  let json_rows = ref [] in
+  let module J = Cr_util.Jsonl in
+  let n_workloads = List.length workloads in
+  List.iteri
+    (fun wi w ->
+      let wname = Experiment.workload_name w in
+      let g = Experiment.make_graph ~seed:181 w in
+      let apsp = Apsp.compute_parallel g in
+      let nn = Graph.n g in
+      List.iter
+        (fun k ->
+          let oracle, build_s = time_it (fun () -> Po.build ~k ~seed:181 apsp) in
+          let r =
+            Oserve.run ~domains ~seed:182 ~queries ~workload:wname apsp oracle
+          in
+          T.add_row table
+            [
+              wname; Printf.sprintf "tz-path(k=%d)" k;
+              Printf.sprintf "%.0f" (Po.stretch_bound oracle);
+              Printf.sprintf "%.3f" build_s;
+              string_of_int r.Oserve.size_entries;
+              Printf.sprintf "%.0f" (float_of_int r.Oserve.storage_bits /. float_of_int nn);
+              Printf.sprintf "%.0f" r.Oserve.queries_per_sec;
+              Printf.sprintf "%d/%d" r.Oserve.ok r.Oserve.queries;
+              T.fmt_float r.Oserve.stretch_mean; T.fmt_float r.Oserve.stretch_max;
+            ];
+          json_rows :=
+            J.obj
+              [
+                ("experiment", J.str "O1"); ("workload", J.str wname);
+                ("oracle", J.str "tz-path"); ("k", J.int k); ("n", J.int nn);
+                ("build_s", J.float build_s);
+                ("size_entries", J.int r.Oserve.size_entries);
+                ("storage_bits", J.int r.Oserve.storage_bits);
+                ("queries_per_sec", J.float r.Oserve.queries_per_sec);
+                ("ok", J.int r.Oserve.ok); ("queries", J.int r.Oserve.queries);
+                ("stretch_mean", J.float r.Oserve.stretch_mean);
+                ("stretch_max", J.float r.Oserve.stretch_max);
+              ]
+            :: !json_rows)
+        ks;
+      (* the AGH sparse oracle has no k knob: one row per topology,
+         refereed sequentially like crt oracle *)
+      let so, so_build_s = time_it (fun () -> So.build ~seed:181 apsp) in
+      let pairs =
+        Experiment.default_pairs ~allow_short:true ~seed:182 apsp ~count:(min queries 2000)
+      in
+      let t0 = Unix.gettimeofday () in
+      let ok = ref 0 in
+      let sum = ref 0.0 in
+      let smax = ref 0.0 in
+      Array.iter
+        (fun (u, v) ->
+          match So.path so u v with
+          | None -> ()
+          | Some (a : So.answer) ->
+              let c = Simulator.check_walk g ~src:u ~dst:v ~delivered:true a.So.walk in
+              let tol = 1e-9 *. Float.max 1.0 a.So.est in
+              if
+                Simulator.is_delivered c.Simulator.outcome
+                && Float.abs (c.Simulator.checked_cost -. a.So.est) <= tol
+              then (
+                incr ok;
+                let d = Apsp.distance apsp u v in
+                let s = if d = 0.0 then 1.0 else a.So.est /. d in
+                sum := !sum +. s;
+                if s > !smax then smax := s))
+        pairs;
+      let wall = Unix.gettimeofday () -. t0 in
+      let np = Array.length pairs in
+      let mean = if !ok = 0 then 0.0 else !sum /. float_of_int !ok in
+      T.add_row table
+        [
+          wname; Printf.sprintf "agh-sparse(L=%d)" (So.landmark_count so);
+          Printf.sprintf "%.0f" (So.stretch_bound so);
+          Printf.sprintf "%.3f" so_build_s;
+          string_of_int (So.size_entries so);
+          Printf.sprintf "%.0f" (float_of_int (So.storage_bits so) /. float_of_int nn);
+          Printf.sprintf "%.0f" (float_of_int np /. Float.max 1e-9 wall);
+          Printf.sprintf "%d/%d" !ok np;
+          T.fmt_float mean; T.fmt_float !smax;
+        ];
+      json_rows :=
+        J.obj
+          [
+            ("experiment", J.str "O1"); ("workload", J.str wname);
+            ("oracle", J.str "agh-sparse"); ("landmarks", J.int (So.landmark_count so));
+            ("n", J.int nn); ("build_s", J.float so_build_s);
+            ("size_entries", J.int (So.size_entries so));
+            ("storage_bits", J.int (So.storage_bits so));
+            ("queries_per_sec", J.float (float_of_int np /. Float.max 1e-9 wall));
+            ("ok", J.int !ok); ("queries", J.int np);
+            ("stretch_mean", J.float mean); ("stretch_max", J.float !smax);
+          ]
+        :: !json_rows;
+      if wi < n_workloads - 1 then T.add_sep table)
+    workloads;
+  T.print table;
+  (match Sys.getenv_opt "CRT_O1_JSON" with
+  | Some path ->
+      Cr_util.Jsonl.write_lines (List.rev !json_rows) path;
+      Printf.printf "json written to %s\n" path
+  | None -> ());
+  Printf.printf
+    "expected: every cell reports ok = queries (each reported walk re-prices to its\n\
+     estimate); tz-path entries shrink and stretch grows as k rises (the space-stretch\n\
+     trade-off), staying within 2k-1; agh-sparse stays within stretch 3 with ~sqrt(m)\n\
+     landmarks and is exact inside vicinities.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("T1", t1); ("T1b", t1b); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5); ("T6", t6);
     ("T7", t7); ("T8", t8); ("T9", t9); ("F1", f1); ("F2", f2); ("F3", f3); ("A1", a1);
-    ("A2", a2); ("F4", f4); ("R1", r1); ("P1", p1); ("D1", d1);
+    ("A2", a2); ("F4", f4); ("R1", r1); ("P1", p1); ("D1", d1); ("O1", o1);
   ]
 
 let () =

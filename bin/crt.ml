@@ -15,6 +15,11 @@
                  engine: routes/sec, latency percentiles, cache
                  hit rates and guard outcomes per scheme, plus JSON
                  lines; --guards/--chaos select presets
+     oracle      serve distance/path oracle queries (the second query
+                 surface) through the same guarded engine, refereeing
+                 every reported walk against the graph; reports the
+                 TZ path oracle and the AGH sparse oracle side by
+                 side, as a table plus JSON lines
      chaos       chaos grid: serve the same workload under every
                  (chaos preset x guard preset) pair and tally the
                  guard verdicts per cell, as a table plus JSON lines
@@ -57,11 +62,14 @@ let workload_conv =
     | [ "tree"; n ] -> Ok (Experiment.Tree_w { n = int_of_string n })
     | [ "pref"; n; m ] ->
         Ok (Experiment.Preferential { n = int_of_string n; edges_per_node = int_of_string m })
+    | [ "pl"; n ] -> Ok (Experiment.Power_law { n = int_of_string n; exponent = 2.5 })
+    | [ "pl"; n; gamma ] ->
+        Ok (Experiment.Power_law { n = int_of_string n; exponent = float_of_string gamma })
     | [ "expline"; n; base ] ->
         Ok (Experiment.Exp_line { n = int_of_string n; base = float_of_string base })
     | [ "chain"; sigma; levels ] ->
         Ok (Experiment.Chain { sigma = int_of_string sigma; levels = int_of_string levels; spacing = 8.0 })
-    | _ -> Error (`Msg (Printf.sprintf "unknown workload %S (try er:256, geo:256:0.15, grid:16:16, ring:256:64, isp:12:20, tree:256, pref:256:2, expline:96:2.0, chain:4:3)" s))
+    | _ -> Error (`Msg (Printf.sprintf "unknown workload %S (try er:256, geo:256:0.15, grid:16:16, ring:256:64, isp:12:20, tree:256, pref:256:2, pl:256:2.5, expline:96:2.0, chain:4:3)" s))
   in
   Arg.conv (parse, fun fmt w -> Format.pp_print_string fmt (Experiment.workload_name w))
 
@@ -70,7 +78,7 @@ let workload_arg =
     value
     & opt workload_conv (Experiment.Erdos_renyi { n = 256; avg_degree = 4.0 })
     & info [ "w"; "workload" ] ~docv:"WORKLOAD"
-        ~doc:"Synthetic workload: er:N[:DEG], geo:N[:RADIUS], grid:R:C, ring:N:CHORDS, isp:CORE:ACC, tree:N, pref:N:M, expline:N:BASE, chain:SIGMA:LEVELS.")
+        ~doc:"Synthetic workload: er:N[:DEG], geo:N[:RADIUS], grid:R:C, ring:N:CHORDS, isp:CORE:ACC, tree:N, pref:N:M, pl:N[:GAMMA], expline:N:BASE, chain:SIGMA:LEVELS.")
 
 let graph_file_arg =
   Arg.(value & opt (some string) None & info [ "g"; "graph" ] ~docv:"FILE" ~doc:"Load the graph from FILE instead of generating a workload.")
@@ -186,7 +194,7 @@ let covers_cmd =
 
 (* ---------- scheme roster ---------- *)
 
-let scheme_names = [ "agm06"; "full"; "tree"; "ap"; "exp"; "tz"; "s3" ]
+let scheme_names = [ "agm06"; "full"; "tree"; "ap"; "exp"; "tz"; "s3"; "rt" ]
 
 let build_scheme apsp ~k ~seed = function
   | "agm06" -> Agm06.scheme (Agm06.build ~params:(Params.scaled ~k ~seed ()) apsp)
@@ -197,10 +205,11 @@ let build_scheme apsp ~k ~seed = function
   | "exp" -> Baseline_exp.build ~k apsp
   | "tz" -> Baseline_tz.build ~k apsp
   | "s3" -> Baseline_s3.build ~seed apsp
+  | "rt" -> Cr_oracle.Rt_scheme.make ~k ~seed apsp
   | s -> invalid_arg (Printf.sprintf "unknown scheme %S" s)
 
 let scheme_arg =
-  Arg.(value & opt string "agm06" & info [ "scheme" ] ~docv:"S" ~doc:"Scheme: agm06, agm06-paper, full, tree, ap, exp, tz, s3.")
+  Arg.(value & opt string "agm06" & info [ "scheme" ] ~docv:"S" ~doc:"Scheme: agm06, agm06-paper, full, tree, ap, exp, tz, s3, rt.")
 
 (* ---------- route ---------- *)
 
@@ -291,7 +300,39 @@ let eval_cmd =
     match json with
     | Some path ->
         Experiment.write_jsonl rows path;
-        Printf.printf "json written to %s\n" path
+        (* oracle storage rows ride along in the same JSONL file: one
+           object per line, distinguished by "surface":"oracle" so the
+           scheme-row consumers can filter them out *)
+        let po = Cr_oracle.Path_oracle.build ~k ~seed apsp in
+        let so = Cr_oracle.Sparse_oracle.build ~seed apsp in
+        let module J = Cr_util.Jsonl in
+        let oracle_lines =
+          [
+            J.obj
+              [
+                ("surface", J.str "oracle"); ("oracle", J.str "tz-path"); ("k", J.int k);
+                ("size_entries", J.int (Cr_oracle.Path_oracle.size_entries po));
+                ("storage_bits", J.int (Cr_oracle.Path_oracle.storage_bits po));
+              ];
+            J.obj
+              [
+                ("surface", J.str "oracle"); ("oracle", J.str "agh-sparse");
+                ("landmarks", J.int (Cr_oracle.Sparse_oracle.landmark_count so));
+                ("size_entries", J.int (Cr_oracle.Sparse_oracle.size_entries so));
+                ("storage_bits", J.int (Cr_oracle.Sparse_oracle.storage_bits so));
+              ];
+          ]
+        in
+        let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () ->
+            List.iter
+              (fun l ->
+                output_string oc l;
+                output_char oc '\n')
+              oracle_lines);
+        Printf.printf "json written to %s (+%d oracle storage rows)\n" path (List.length oracle_lines)
     | None -> ()
   in
   Cmd.v (Cmd.info "eval" ~doc:"Compare schemes on sampled pairs.")
@@ -531,6 +572,186 @@ let serve_cmd =
       const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ schemes_arg
       $ queries_arg $ dist_arg $ domains_arg $ cache_arg $ guards_arg $ chaos_arg $ budget_arg
       $ chaos_seed_arg $ json_arg)
+
+(* ---------- oracle ---------- *)
+
+let oracle_cmd =
+  let module Workload = Cr_engine.Workload in
+  let module Oserve = Cr_oracle.Oserve in
+  let module Po = Cr_oracle.Path_oracle in
+  let module So = Cr_oracle.Sparse_oracle in
+  let module Pool = Cr_util.Domain_pool in
+  let queries_arg =
+    Arg.(value & opt int 20000 & info [ "queries" ] ~docv:"Q" ~doc:"Oracle queries in the closed-loop run.")
+  in
+  let dist_conv =
+    Arg.conv
+      ( (fun s -> Result.map_error (fun m -> `Msg m) (Workload.dist_of_string s)),
+        fun fmt d -> Format.pp_print_string fmt (Workload.dist_to_string d) )
+  in
+  let dist_arg =
+    Arg.(value & opt dist_conv (Workload.Zipf 1.1)
+         & info [ "dist" ] ~docv:"D" ~doc:"Query distribution: uniform, zipf (exponent 1.1) or zipf:S.")
+  in
+  let domains_arg =
+    Arg.(value & opt int (Pool.default_domains ())
+         & info [ "domains" ] ~docv:"N" ~doc:"Worker-domain pool width (default min(8, recommended)).")
+  in
+  let cache_arg =
+    Arg.(value & opt int 0 & info [ "cache" ] ~docv:"C" ~doc:"Per-lane LRU answer cache capacity in entries (0 disables).")
+  in
+  let guards_arg =
+    Arg.(value & opt string "off"
+         & info [ "guards" ] ~docv:"G" ~doc:"Guard preset: off, serving or strict.")
+  in
+  let chaos_arg =
+    Arg.(value & opt string "none"
+         & info [ "chaos" ] ~docv:"C" ~doc:"Chaos preset: none, crash, stall, flaky or storm.")
+  in
+  let budget_arg =
+    Arg.(value & opt float 0.25
+         & info [ "budget" ] ~docv:"S" ~doc:"Batch deadline budget in seconds for the strict guard preset.")
+  in
+  let chaos_seed_arg =
+    Arg.(value & opt int 42
+         & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Seed of the deterministic fault plans.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the per-oracle JSON lines to FILE instead of stdout.")
+  in
+  let run seed k workload graph_file aspect queries dist domains cache guards chaos budget
+      chaos_seed json =
+    if domains < 1 then (
+      Printf.eprintf "crt: --domains must be >= 1\n";
+      exit 1);
+    if cache < 0 then (
+      Printf.eprintf "crt: --cache must be >= 0\n";
+      exit 1);
+    let policy =
+      match Cr_guard.Policy.preset_of_string ~batch_budget_s:budget guards with
+      | Ok p -> p
+      | Error msg ->
+          Printf.eprintf "crt: %s\n" msg;
+          exit 2
+    in
+    let chaos =
+      match Cr_guard.Chaos.preset_of_string ~seed:chaos_seed chaos with
+      | Ok c -> c
+      | Error msg ->
+          Printf.eprintf "crt: %s\n" msg;
+          exit 2
+    in
+    install_signal_handlers ();
+    let g = load_graph ~seed ~graph_file ~workload ~aspect in
+    let apsp = Apsp.compute_parallel g in
+    let wl_label =
+      match graph_file with Some path -> path | None -> Experiment.workload_name workload
+    in
+    let oracle = Po.build ~k ~seed apsp in
+    let report =
+      try
+        Oserve.run ~cache ~dist ~policy ~chaos ~guard_label:guards ~domains ~seed:(seed + 1)
+          ~queries ~workload:wl_label apsp oracle
+      with Workload.Sample_exhausted ->
+        Printf.eprintf
+          "crt: could not sample %d connected pairs; is the graph disconnected or tiny?\n" queries;
+        exit 1
+    in
+    (* the AGH sparse oracle is refereed sequentially over a
+       deterministic sample: its answers do not go through the engine,
+       so the row reports quality and size, not serving throughput *)
+    let so = So.build ~seed apsp in
+    let spairs = sample_pairs_exn ~seed:(seed + 1) apsp ~count:(min queries 2000) in
+    let sp_t0 = Unix.gettimeofday () in
+    let sp_ok = ref 0 in
+    let sp_sum = ref 0.0 in
+    let sp_max = ref 0.0 in
+    Array.iter
+      (fun (u, v) ->
+        match So.path so u v with
+        | None -> ()
+        | Some (a : So.answer) ->
+            let c =
+              Simulator.check_walk (Apsp.graph apsp) ~src:u ~dst:v ~delivered:true a.So.walk
+            in
+            let tol = 1e-9 *. Float.max 1.0 a.So.est in
+            if
+              Simulator.is_delivered c.Simulator.outcome
+              && Float.abs (c.Simulator.checked_cost -. a.So.est) <= tol
+            then (
+              incr sp_ok;
+              let d = Apsp.distance apsp u v in
+              let s = if d = 0.0 then 1.0 else a.So.est /. d in
+              sp_sum := !sp_sum +. s;
+              if s > !sp_max then sp_max := s))
+      spairs;
+    let sp_wall = Unix.gettimeofday () -. sp_t0 in
+    let sp_n = Array.length spairs in
+    let sp_mean = if !sp_ok = 0 then 0.0 else !sp_sum /. float_of_int !sp_ok in
+    let table =
+      T.create
+        ~title:
+          (Printf.sprintf "%s, %d queries (%s), k=%d, domains=%d, cache=%d, guards=%s, chaos=%s"
+             wl_label queries (Workload.dist_to_string dist) k domains cache guards
+             (Cr_guard.Chaos.label chaos))
+        [
+          ("oracle", T.Left); ("bound", T.Right); ("queries/s", T.Right); ("p95 us", T.Right);
+          ("hit rate", T.Right); ("ok", T.Right); ("stretch mean", T.Right); ("max", T.Right);
+          ("entries", T.Right); ("bits", T.Right);
+        ]
+    in
+    T.add_row table
+      [
+        Printf.sprintf "tz-path(k=%d)" k;
+        Printf.sprintf "%.0f" (Po.stretch_bound oracle);
+        Printf.sprintf "%.0f" report.Oserve.queries_per_sec;
+        Printf.sprintf "%.1f" (1e6 *. report.Oserve.latency.Cr_util.Stats.p95);
+        (if report.Oserve.cache_capacity = 0 then "-"
+         else Printf.sprintf "%.3f" (Oserve.hit_rate report));
+        Printf.sprintf "%d/%d" report.Oserve.ok report.Oserve.queries;
+        T.fmt_float report.Oserve.stretch_mean;
+        T.fmt_float report.Oserve.stretch_max;
+        string_of_int report.Oserve.size_entries;
+        T.fmt_bits report.Oserve.storage_bits;
+      ];
+    T.add_row table
+      [
+        Printf.sprintf "agh-sparse(L=%d)" (So.landmark_count so);
+        Printf.sprintf "%.0f" (So.stretch_bound so);
+        Printf.sprintf "%.0f" (float_of_int sp_n /. Float.max 1e-9 sp_wall);
+        "-";
+        "-";
+        Printf.sprintf "%d/%d" !sp_ok sp_n;
+        T.fmt_float sp_mean;
+        T.fmt_float !sp_max;
+        string_of_int (So.size_entries so);
+        T.fmt_bits (So.storage_bits so);
+      ];
+    T.print table;
+    let module J = Cr_util.Jsonl in
+    let sparse_line =
+      J.obj
+        [
+          ("surface", J.str "oracle"); ("oracle", J.str "agh-sparse"); ("workload", J.str wl_label);
+          ("landmarks", J.int (So.landmark_count so)); ("pairs", J.int sp_n);
+          ("ok", J.int !sp_ok); ("stretch_mean", J.float sp_mean); ("stretch_max", J.float !sp_max);
+          ("size_entries", J.int (So.size_entries so)); ("storage_bits", J.int (So.storage_bits so));
+        ]
+    in
+    let lines = [ Oserve.report_to_json report; sparse_line ] in
+    match json with
+    | Some path ->
+        J.write_lines lines path;
+        Printf.printf "json written to %s\n" path
+    | None -> List.iter print_endline lines
+  in
+  Cmd.v
+    (Cmd.info "oracle"
+       ~doc:"Serve distance/path oracle queries through the guarded batch engine and referee the reported walks.")
+    Term.(
+      const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ queries_arg
+      $ dist_arg $ domains_arg $ cache_arg $ guards_arg $ chaos_arg $ budget_arg $ chaos_seed_arg
+      $ json_arg)
 
 (* ---------- chaos ---------- *)
 
@@ -946,7 +1167,7 @@ let build_cmd =
 
 let () =
   let doc = "compact-routing toolbox: the AGM'06 scale-free name-independent scheme and its comparators" in
-  let main = Cmd.group (Cmd.info "crt" ~doc) [ generate_cmd; info_cmd; decompose_cmd; covers_cmd; route_cmd; eval_cmd; tables_cmd; resilience_cmd; serve_cmd; chaos_cmd; daemon_cmd; trace_cmd; build_cmd ] in
+  let main = Cmd.group (Cmd.info "crt" ~doc) [ generate_cmd; info_cmd; decompose_cmd; covers_cmd; route_cmd; eval_cmd; tables_cmd; resilience_cmd; serve_cmd; oracle_cmd; chaos_cmd; daemon_cmd; trace_cmd; build_cmd ] in
   (* CLI misuse (unknown subcommand, malformed flag, bad roster name) is
      a one-line usage error on stderr and exit 2 — never a backtrace.
      [~catch:false] so real bugs still crash loudly in CI. *)

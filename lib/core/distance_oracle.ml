@@ -57,8 +57,13 @@ let build ?(k = 3) ?(seed = 31) apsp =
 let k t = t.k
 
 (* The classic alternating query: find the smallest level j such that the
-   pivot of the "active" endpoint lands in the other's bunch. *)
+   pivot of the "active" endpoint lands in the other's bunch.  The walk
+   is run from the canonical (min, max) ordering of the endpoints: the
+   raw alternation is not symmetric (u ∈ B(v) does not imply v ∈ B(u),
+   so starting from the other side can terminate at a different level),
+   and a distance estimate should not depend on who asks. *)
 let query t u v =
+  let u, v = (min u v, max u v) in
   if u = v then 0.0
   else begin
     let rec walk j u v w du_w =

@@ -25,7 +25,10 @@ val k : t -> int
 
 val query : t -> int -> int -> float
 (** Estimated distance; [infinity] for disconnected pairs; [0.] when
-    [u = v].  Guaranteed within a factor [2k − 1] of the true distance. *)
+    [u = v].  Guaranteed within a factor [2k − 1] of the true distance.
+    Symmetric: [query t u v = query t v u] exactly (the alternating walk
+    runs from the canonical [(min u v, max u v)] ordering — property
+    tested in test/test_core.ml). *)
 
 val stretch_bound : t -> float
 (** [2k − 1]. *)

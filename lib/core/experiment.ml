@@ -12,6 +12,7 @@ type workload =
   | Isp of { core : int; access_per_core : int }
   | Tree_w of { n : int }
   | Preferential of { n : int; edges_per_node : int }
+  | Power_law of { n : int; exponent : float }
   | Exp_line of { n : int; base : float }
   | Chain of { sigma : int; levels : int; spacing : float }
 
@@ -23,6 +24,7 @@ let workload_name = function
   | Isp { core; access_per_core } -> Printf.sprintf "isp(%dx%d)" core access_per_core
   | Tree_w { n } -> Printf.sprintf "tree(n=%d)" n
   | Preferential { n; _ } -> Printf.sprintf "pref-attach(n=%d)" n
+  | Power_law { n; exponent } -> Printf.sprintf "power-law(n=%d,gamma=%.2f)" n exponent
   | Exp_line { n; base } -> Printf.sprintf "exp-line(n=%d,base=%.2f)" n base
   | Chain { sigma; levels; _ } -> Printf.sprintf "scale-chain(sigma=%d,levels=%d)" sigma levels
 
@@ -34,6 +36,7 @@ let generate rng = function
   | Isp { core; access_per_core } -> Generators.two_tier_isp rng ~core ~access_per_core
   | Tree_w { n } -> Generators.random_tree rng ~n
   | Preferential { n; edges_per_node } -> Generators.preferential_attachment rng ~n ~edges_per_node
+  | Power_law { n; exponent } -> Generators.power_law rng ~n ~exponent
   | Exp_line { n; base } -> Generators.exponential_line ~n ~base
   | Chain { sigma; levels; spacing } -> Generators.scale_chain rng ~sigma ~levels ~spacing
 

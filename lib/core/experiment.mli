@@ -10,6 +10,9 @@ type workload =
   | Isp of { core : int; access_per_core : int }
   | Tree_w of { n : int }
   | Preferential of { n : int; edges_per_node : int }
+  | Power_law of { n : int; exponent : float }
+      (** configuration-model power-law degrees, [m ≈ n] at
+          [exponent ≈ 2.5]; see {!Cr_graph.Generators.power_law} *)
   | Exp_line of { n : int; base : float }
       (** the §1.3 [Δ = Ω(2ⁿ)] example; see {!Cr_graph.Generators.exponential_line} *)
   | Chain of { sigma : int; levels : int; spacing : float }

@@ -21,6 +21,10 @@ type epoch = {
   apsp : Apsp.t;
   agm : Agm06.t;
   scheme : Scheme.t;
+  oracle : Cr_oracle.Path_oracle.t;
+      (* the second query surface: rebuilt with the scheme on every
+         repair, so [path] answers are always internally consistent
+         with [route]/[dist] of the same epoch *)
 }
 
 type config = {
@@ -122,6 +126,7 @@ let repair_batch t base batch =
       sources := !sources + n)
     batch;
   let agm = Agm06.build ~params:t.cfg.params !apsp in
+  let params = t.cfg.params in
   let epoch =
     {
       id = base.id + 1;
@@ -129,6 +134,8 @@ let repair_batch t base batch =
       apsp = !apsp;
       agm;
       scheme = Agm06.scheme agm;
+      oracle =
+        Cr_oracle.Path_oracle.build ~k:params.Params.k ~seed:params.Params.seed !apsp;
     }
   in
   (epoch, !sources, !impact)
@@ -236,7 +243,14 @@ let worker_loop t =
 
 let build_epoch ~params ~id apsp =
   let agm = Agm06.build ~params apsp in
-  { id; graph = Apsp.graph apsp; apsp; agm; scheme = Agm06.scheme agm }
+  {
+    id;
+    graph = Apsp.graph apsp;
+    apsp;
+    agm;
+    scheme = Agm06.scheme agm;
+    oracle = Cr_oracle.Path_oracle.build ~k:params.Params.k ~seed:params.Params.seed apsp;
+  }
 
 (* Recovery: newest valid snapshot (if any) replaces the base graph,
    then the checksummed journal suffix past the snapshot's recorded
@@ -581,6 +595,37 @@ let handle_query t kind u v =
             Printf.sprintf "ok dist %d %d %.17g epoch=%d" u v ans.dist ep.id)
   end
 
+let handle_path t u v =
+  Counters.incr t.counters "daemon.queries";
+  let ep, bl = snapshot t in
+  let n = Graph.n ep.graph in
+  if u < 0 || u >= n || v < 0 || v >= n then
+    Printf.sprintf "err path %d %d: node out of range [0, %d)" u v n
+  else begin
+    let verdict =
+      match admit t ~backlog:bl with
+      | Error r -> Error r
+      | Ok () -> run_query t (fun () -> Cr_oracle.Path_oracle.path ep.oracle u v)
+    in
+    match verdict with
+    | Error rej ->
+        Counters.incr t.counters (Guard.Rejection.counter rej);
+        Printf.sprintf "err path %d %d rejected=%s epoch=%d" u v
+          (Guard.Rejection.to_string rej) ep.id
+    | Ok None ->
+        Counters.incr t.counters "daemon.paths";
+        Printf.sprintf "ok path %d %d unreachable epoch=%d" u v ep.id
+    | Ok (Some a) ->
+        Counters.incr t.counters "daemon.paths";
+        let walk =
+          String.concat "-" (List.map string_of_int a.Cr_oracle.Path_oracle.walk)
+        in
+        Printf.sprintf "ok path %d %d est=%.17g hops=%d via=%d walk=%s epoch=%d" u v
+          a.Cr_oracle.Path_oracle.est
+          (List.length a.Cr_oracle.Path_oracle.walk - 1)
+          a.Cr_oracle.Path_oracle.via walk ep.id
+  end
+
 (* ---- mutation path ---------------------------------------------------- *)
 
 let normalized_floor = 1.0 -. 1e-9
@@ -678,6 +723,8 @@ let stats_json t =
       ("queries", Jsonl.int (c "daemon.queries"));
       ("routes", Jsonl.int (c "daemon.routes"));
       ("dists", Jsonl.int (c "daemon.dists"));
+      ("paths", Jsonl.int (c "daemon.paths"));
+      ("oracle_entries", Jsonl.int (Cr_oracle.Path_oracle.size_entries ep.oracle));
       ("mutations", Jsonl.int (c "daemon.mutations"));
       ("mutations_rejected", Jsonl.int (c "daemon.mutations.rejected"));
       ("repairs", Jsonl.int (c "daemon.repairs"));
@@ -735,6 +782,7 @@ let handle t line =
       match cmd with
       | Protocol.Route (u, v) -> [ handle_query t `Route u v ]
       | Protocol.Dist (u, v) -> [ handle_query t `Dist u v ]
+      | Protocol.Path (u, v) -> [ handle_path t u v ]
       | Protocol.Mutate mu -> [ accept_mutation t mu ]
       | Protocol.Sync -> (
           match sync t with

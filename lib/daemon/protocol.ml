@@ -4,6 +4,7 @@ module Gio = Cr_graph.Gio
 type command =
   | Route of int * int
   | Dist of int * int
+  | Path of int * int
   | Mutate of Graph.mutation
   | Sync
   | Stats
@@ -15,6 +16,7 @@ let grammar =
   [
     ("route U V", "route a message from node U to node V on the serving epoch");
     ("dist U V", "serving-epoch distance between U and V");
+    ("path U V", "oracle path from U to V on the serving epoch (estimate + walk)");
     ("setw U V W", "reweight the existing edge (U,V) to W");
     ("linkdown U V", "remove the existing edge (U,V)");
     ("linkup U V W", "insert the missing edge (U,V) with weight W");
@@ -44,6 +46,7 @@ let parse ~lineno line =
     match tokens with
     | [ "route"; su; sv ] -> pair (fun u v -> Route (u, v)) su sv
     | [ "dist"; su; sv ] -> pair (fun u v -> Dist (u, v)) su sv
+    | [ "path"; su; sv ] -> pair (fun u v -> Path (u, v)) su sv
     | ("setw" | "linkdown" | "linkup" | "nodedown" | "nodeup") :: _ -> (
         (* shared grammar with the journal: the daemon's wire spelling
            and [Gio]'s mutation-log spelling cannot drift apart *)
@@ -54,7 +57,7 @@ let parse ~lineno line =
     | [ "epoch" ] -> Ok (Some Epoch)
     | [ "help" ] -> Ok (Some Help)
     | [ "quit" ] | [ "exit" ] -> Ok (Some Quit)
-    | ("route" | "dist" | "sync" | "stats" | "epoch" | "help" | "quit" | "exit") :: _ ->
+    | ("route" | "dist" | "path" | "sync" | "stats" | "epoch" | "help" | "quit" | "exit") :: _ ->
         Error
           (Printf.sprintf "line %d: wrong number of fields for %S command" lineno
              (List.hd tokens))

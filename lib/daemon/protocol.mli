@@ -11,6 +11,9 @@
 type command =
   | Route of int * int  (** [route u v] *)
   | Dist of int * int  (** [dist u v] *)
+  | Path of int * int
+      (** [path u v] — the path-reporting oracle's estimate and walk,
+          answered from the serving epoch's oracle *)
   | Mutate of Cr_graph.Graph.mutation
       (** [setw u v w] / [linkdown u v] / [linkup u v w] /
           [nodedown u] / [nodeup u] *)

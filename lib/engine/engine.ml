@@ -1,13 +1,18 @@
 (* The batch query engine: shards a (src, dst) query array across the
    lanes of a domain pool, optionally consulting a per-lane LRU
-   route-plan cache, and records throughput plus per-query latency.
+   result cache, and records throughput plus per-query latency.
+
+   The engine is polymorphic in the per-query result type 'r: the same
+   sharded loop, caches and guard chain serve routed measurements
+   (Sim.measured, the original surface) and oracle answers
+   (Cr_oracle via run_custom) without duplicating the serving stack.
 
    Determinism contract (tested in test/test_engine.ml and
    test/test_guard.ml):
-   - result.(i) is a pure function of (apsp, scheme, pairs.(i)):
-     Simulator.measure reads only immutable preprocessed tables, so the
-     result array is bit-identical across any pool width and with the
-     cache on or off.
+   - result.(i) is a pure function of (measure, pairs.(i)): the measure
+     closures read only immutable preprocessed tables, so the result
+     array is bit-identical across any pool width and with the cache on
+     or off.
    - Sharding is static: shard l owns the contiguous slice
      [l*nq/lanes, (l+1)*nq/lanes), so each per-shard cache, breaker and
      cost estimate is touched by exactly one executor per batch (no
@@ -18,13 +23,13 @@
    - Metrics (wall time, latency percentiles) are measured, not
      simulated, and are the only nondeterministic outputs.
 
-   Guarded serving (run_guarded): the same sharded loop threaded
-   through the Cr_guard stack.  Per query, in order: batch deadline,
-   shed admission, per-shard circuit breaker, then execution under
-   bounded retry with chaos-injected faults, and a final per-query /
-   batch deadline check.  Every refusal is a structured
-   Cr_guard.Rejection — nothing raises — and with Policy.off and
-   Chaos.none the guarded path performs exactly the unguarded
+   Guarded serving (run_guarded / run_custom ~guarded:true): the same
+   sharded loop threaded through the Cr_guard stack.  Per query, in
+   order: batch deadline, shed admission, per-shard circuit breaker,
+   then execution under bounded retry with chaos-injected faults, and a
+   final per-query / batch deadline check.  Every refusal is a
+   structured Cr_guard.Rejection — nothing raises — and with Policy.off
+   and Chaos.none the guarded path performs exactly the unguarded
    operations in the same order, so its results are bit-identical. *)
 
 module Pool = Cr_util.Domain_pool
@@ -35,10 +40,10 @@ module Sim = Compact_routing.Simulator
 module Scheme = Compact_routing.Scheme
 module Guard = Cr_guard
 
-type t = {
+type 'r t = {
   pool : Pool.t;
   cache_capacity : int;
-  caches : Sim.measured Lru.t array; (* one per shard; [||] when disabled *)
+  caches : 'r Lru.t array; (* one per shard; [||] when disabled *)
   policy : Guard.Policy.t;
   breakers : Guard.Breaker.t array; (* one per shard; [||] when disabled *)
   est_cost : float array; (* per-shard EWMA query cost, 0.0 = unknown *)
@@ -125,21 +130,21 @@ let slice ~lanes ~nq lane = (lane * nq / lanes, (lane + 1) * nq / lanes)
 (* EWMA weight for the per-shard cost estimate *)
 let est_alpha = 0.2
 
-(* The single batch core.  [guarded = false] is the plain engine: no
-   deadline/shed/breaker/retry branches are even consulted, preserving
-   the original hot loop exactly.  [guarded = true] wraps each query in
-   the guard chain; with Policy.off and Chaos.none every branch is a
-   no-op and the measure/cache operations are identical. *)
-let run_core t ~guarded ~chaos apsp scheme pairs =
+(* The single batch core, generic in the result type.  [n] is the node
+   count (cache keys are (s * n) + d); [measure] computes one query from
+   immutable tables; [delivered] classifies a result for the
+   engine.delivered counter; [placeholder] seeds the result array
+   (every slot is overwritten — the pool guarantees exactly-once
+   execution even under lane crashes).  [guarded = false] is the plain
+   engine: no deadline/shed/breaker/retry branches are even consulted,
+   preserving the original hot loop exactly.  [guarded = true] wraps
+   each query in the guard chain; with Policy.off and Chaos.none every
+   branch is a no-op and the measure/cache operations are identical. *)
+let run_core (type r) (t : r t) ~guarded ~chaos ~n ~(placeholder : r) ~delivered ~measure pairs
+    =
   let nq = Array.length pairs in
   let lanes = Pool.domains t.pool in
-  let n = Graph.n (Apsp.graph apsp) in
-  let out =
-    (* placeholders: every slot is overwritten below (the pool
-       guarantees exactly-once execution even under lane crashes) *)
-    Array.make (max nq 1)
-      (Ok { Sim.src = 0; dst = 0; delivered = false; cost = 0.0; hops = 0; stretch = infinity })
-  in
+  let out = Array.make (max nq 1) (Ok placeholder) in
   let lat = Array.make (max nq 1) 0.0 in
   let retries_total = Atomic.make 0 in
   let qstalls_total = Atomic.make 0 in
@@ -159,13 +164,13 @@ let run_core t ~guarded ~chaos apsp scheme pairs =
           in
           let measure s d =
             match cache with
-            | None -> Sim.measure apsp scheme s d
+            | None -> measure s d
             | Some c -> (
                 let key = (s * n) + d in
                 match Lru.find c key with
                 | Some m -> m
                 | None ->
-                    let m = Sim.measure apsp scheme s d in
+                    let m = measure s d in
                     Lru.add c key m;
                     m)
           in
@@ -237,12 +242,12 @@ let run_core t ~guarded ~chaos apsp scheme pairs =
   (* tally outcomes once per batch, from the coordinating thread: the
      counts are pure functions of the outcome array *)
   let ok = ref 0 and timed_out = ref 0 and shed = ref 0 in
-  let breaker_open = ref 0 and worker_lost = ref 0 and delivered = ref 0 in
+  let breaker_open = ref 0 and worker_lost = ref 0 and delivered_n = ref 0 in
   for q = 0 to nq - 1 do
     match out.(q) with
     | Ok m ->
         incr ok;
-        if m.Sim.delivered then incr delivered
+        if delivered m then incr delivered_n
     | Error Guard.Rejection.Timed_out -> incr timed_out
     | Error Guard.Rejection.Shed -> incr shed
     | Error Guard.Rejection.Breaker_open -> incr breaker_open
@@ -266,7 +271,7 @@ let run_core t ~guarded ~chaos apsp scheme pairs =
   | Some c ->
       Cr_obs.Counters.incr c "engine.batches";
       Cr_obs.Counters.add c "engine.queries" nq;
-      Cr_obs.Counters.add c "engine.delivered" !delivered;
+      Cr_obs.Counters.add c "engine.delivered" !delivered_n;
       Cr_obs.Counters.add c "engine.cache_hits" (hits1 - hits0);
       Cr_obs.Counters.add c "engine.cache_misses" (misses1 - misses0);
       if guarded then begin
@@ -292,13 +297,29 @@ let run_core t ~guarded ~chaos apsp scheme pairs =
   in
   ((if nq = 0 then [||] else Array.sub out 0 nq), metrics, gstats)
 
+let run_custom ?(guarded = false) ?(chaos = Guard.Chaos.none) ?(delivered = fun _ -> true) t
+    ~n ~placeholder ~measure pairs =
+  run_core t ~guarded ~chaos ~n ~placeholder ~delivered ~measure pairs
+
+let route_placeholder =
+  { Sim.src = 0; dst = 0; delivered = false; cost = 0.0; hops = 0; stretch = infinity }
+
+let run_route_core t ~guarded ~chaos apsp scheme pairs =
+  let n = Graph.n (Apsp.graph apsp) in
+  run_core t ~guarded ~chaos ~n ~placeholder:route_placeholder
+    ~delivered:(fun m -> m.Sim.delivered)
+    ~measure:(fun s d -> Sim.measure apsp scheme s d)
+    pairs
+
 let run_batch t apsp scheme pairs =
-  let out, metrics, _ = run_core t ~guarded:false ~chaos:Guard.Chaos.none apsp scheme pairs in
+  let out, metrics, _ =
+    run_route_core t ~guarded:false ~chaos:Guard.Chaos.none apsp scheme pairs
+  in
   ( Array.map (function Ok m -> m | Error _ -> assert false (* unguarded is total *)) out,
     metrics )
 
 let run_guarded ?(chaos = Guard.Chaos.none) t apsp scheme pairs =
-  run_core t ~guarded:true ~chaos apsp scheme pairs
+  run_route_core t ~guarded:true ~chaos apsp scheme pairs
 
 let evaluate t apsp scheme pairs =
   let results, metrics = run_batch t apsp scheme pairs in

@@ -1,17 +1,25 @@
 (** The multicore batch query engine.
 
-    Turns routing evaluation into a served workload: a query batch
+    Turns per-pair evaluation into a served workload: a query batch
     [(src, dst) array] is sharded statically across the lanes of a
     spawn-once domain pool, each shard optionally consulting its own LRU
-    route-plan cache, while the engine records throughput and per-query
+    result cache, while the engine records throughput and per-query
     latency.
+
+    The engine is polymorphic in the per-query result type ['r].  The
+    original routing surface ({!run_batch}, {!run_guarded}, {!evaluate})
+    serves [Compact_routing.Simulator.measured]; {!run_custom} serves
+    any other query type — the oracle layer ([Cr_oracle.Oserve]) uses it
+    to push distance/path queries through the identical caches, guards
+    and sharding.
 
     {2 Determinism contract}
 
     - [result.(i)] corresponds to [pairs.(i)] and is a pure function of
-      [(apsp, scheme, pairs.(i))] — bit-identical across any pool width
-      and with the cache on or off (cached entries are the values the
-      computation would produce).
+      [(measure, pairs.(i))] — bit-identical across any pool width and
+      with the cache on or off (cached entries are the values the
+      computation would produce).  The [measure] closure must read only
+      immutable preprocessed tables.
     - Sharding is static (shard [l] owns one contiguous slice), so each
       per-shard cache, breaker and cost estimate has a single executor
       per batch and hit/miss totals are reproducible for a fixed
@@ -24,24 +32,26 @@
       [Cr_guard.Chaos.none] performs exactly the unguarded operations in
       the same order: its outcomes are [Ok] of the {!run_batch} results.
 
-    Schemes must be safe to query from several domains: every scheme in
-    this repo routes from immutable preprocessed tables (the AGM06 live
-    counters are atomic). *)
+    Measure closures must be safe to call from several domains: every
+    scheme and oracle in this repo answers from immutable preprocessed
+    tables (the AGM06 live counters are atomic). *)
 
-type t
+type 'r t
+(** An engine serving queries whose per-query result type is ['r] (the
+    per-shard caches hold ['r] values). *)
 
 type metrics = {
   queries : int;
   domains : int;  (** pool lanes used, including the caller *)
   wall_s : float;
-  routes_per_sec : float;
+  routes_per_sec : float;  (** queries/s, whatever the query type *)
   latency : Cr_util.Stats.summary;  (** per-query seconds: p50/p95/p99 etc. *)
   cache_hits : int;  (** this batch, summed over shards *)
   cache_misses : int;
 }
 
 type outcome = (Compact_routing.Simulator.measured, Cr_guard.Rejection.t) result
-(** One query's guarded verdict: a routed measurement, or a structured
+(** One routed query's guarded verdict: a measurement, or a structured
     refusal.  Guards never raise. *)
 
 type guard_stats = {
@@ -67,28 +77,47 @@ val create :
   ?counters:Cr_obs.Counters.t ->
   ?pool:Cr_util.Domain_pool.t ->
   unit ->
-  t
+  'r t
 (** [create ()] runs on the shared pool with the cache disabled and
     every guard off.  [cache] is the per-shard LRU capacity in entries
     ([0] disables; negative raises [Invalid_argument]).  [policy]
-    configures the guard stack for {!run_guarded}; breaker state and
-    per-shard cost estimates persist across batches of the same engine,
-    like the caches.  With [counters], every batch bumps the [engine.*]
-    aggregates — and every guarded batch the [guard.*] ones — once per
-    batch from the coordinating thread, so the counts are as
-    deterministic as the results they summarize. *)
+    configures the guard stack for {!run_guarded}/{!run_custom}; breaker
+    state and per-shard cost estimates persist across batches of the
+    same engine, like the caches.  With [counters], every batch bumps
+    the [engine.*] aggregates — and every guarded batch the [guard.*]
+    ones — once per batch from the coordinating thread, so the counts
+    are as deterministic as the results they summarize. *)
 
-val pool : t -> Cr_util.Domain_pool.t
+val pool : 'r t -> Cr_util.Domain_pool.t
 
-val cache_capacity : t -> int
+val cache_capacity : 'r t -> int
 
-val policy : t -> Cr_guard.Policy.t
+val policy : 'r t -> Cr_guard.Policy.t
 
-val breaker_state : t -> shard:int -> Cr_guard.Breaker.state option
+val breaker_state : 'r t -> shard:int -> Cr_guard.Breaker.state option
 (** Current breaker state of one shard; [None] when breakers are off. *)
 
+val run_custom :
+  ?guarded:bool ->
+  ?chaos:Cr_guard.Chaos.t ->
+  ?delivered:('r -> bool) ->
+  'r t ->
+  n:int ->
+  placeholder:'r ->
+  measure:(int -> int -> 'r) ->
+  (int * int) array ->
+  ('r, Cr_guard.Rejection.t) result array * metrics * guard_stats
+(** The generic serving core: shard [pairs], answer each [(s, d)] with
+    [measure s d] through the per-shard cache (keys [(s * n) + d], so
+    [n] must exceed every node id), under the guard chain when
+    [guarded] (default false — every outcome is then [Ok]).
+    [placeholder] seeds the result array and is never returned;
+    [delivered] classifies results for the [engine.delivered] counter
+    (default: everything).  Same determinism contract as
+    {!run_batch}. *)
+
 val run_batch :
-  t ->
+  Compact_routing.Simulator.measured t ->
   Cr_graph.Apsp.t ->
   Compact_routing.Scheme.t ->
   (int * int) array ->
@@ -99,7 +128,7 @@ val run_batch :
 
 val run_guarded :
   ?chaos:Cr_guard.Chaos.t ->
-  t ->
+  Compact_routing.Simulator.measured t ->
   Cr_graph.Apsp.t ->
   Compact_routing.Scheme.t ->
   (int * int) array ->
@@ -114,7 +143,7 @@ val run_guarded :
     {!run_batch}). *)
 
 val evaluate :
-  t ->
+  Compact_routing.Simulator.measured t ->
   Cr_graph.Apsp.t ->
   Compact_routing.Scheme.t ->
   (int * int) array ->
@@ -123,11 +152,11 @@ val evaluate :
     {!Compact_routing.Simulator.aggregate_of_measured} — the aggregate
     is identical to [Simulator.evaluate]'s. *)
 
-val served : t -> int
+val served : 'r t -> int
 (** Lifetime query count across batches. *)
 
-val busy_seconds : t -> float
+val busy_seconds : 'r t -> float
 (** Lifetime wall seconds spent inside batches. *)
 
-val cache_stats : t -> int * int
+val cache_stats : 'r t -> int * int
 (** Lifetime [(hits, misses)] summed over the per-shard caches. *)

@@ -163,6 +163,67 @@ let preferential_attachment rng ~n ~edges_per_node =
   done;
   connect_up rng (Graph.create ~n !edges) 1.0
 
+let power_law rng ~n ~exponent =
+  if n < 4 then invalid_arg "power_law: n < 4";
+  if not (exponent > 1.0) then invalid_arg "power_law: exponent <= 1";
+  (* Discrete power-law degree sequence P(d) ∝ d^{-exponent} on
+     d ∈ [1, dmax], sampled by inverse CDF.  With exponent ≈ 2.5 the
+     expected degree is close to 2, i.e. m ≈ n — the sparse regime the
+     AGH-style oracle targets. *)
+  let dmax = max 2 (int_of_float (sqrt (float_of_int n))) in
+  let w = Array.init dmax (fun i -> float_of_int (i + 1) ** -.exponent) in
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let cdf = Array.make dmax 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      acc := !acc +. (x /. total);
+      cdf.(i) <- !acc)
+    w;
+  cdf.(dmax - 1) <- 1.0;
+  let draw_degree () =
+    let u = Rng.float rng 1.0 in
+    let lo = ref 0 and hi = ref (dmax - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) >= u then hi := mid else lo := mid + 1
+    done;
+    !lo + 1
+  in
+  let deg = Array.init n (fun _ -> draw_degree ()) in
+  (* the degree sum must be even to pair stubs; bump one node if odd *)
+  let sum = Array.fold_left ( + ) 0 deg in
+  if sum land 1 = 1 then deg.(0) <- deg.(0) + 1;
+  (* configuration model: shuffle the stub multiset, pair consecutive
+     stubs, drop self-loops and duplicate edges (the standard simple-graph
+     projection; the realized degrees honestly fall short of the drawn
+     sequence by the dropped stubs) *)
+  let stubs = Array.make (Array.fold_left ( + ) 0 deg) 0 in
+  let pos = ref 0 in
+  Array.iteri
+    (fun v d ->
+      for _ = 1 to d do
+        stubs.(!pos) <- v;
+        incr pos
+      done)
+    deg;
+  Rng.shuffle rng stubs;
+  let seen = Hashtbl.create (Array.length stubs) in
+  let edges = ref [] in
+  let i = ref 0 in
+  while !i + 1 < Array.length stubs do
+    let u = stubs.(!i) and v = stubs.(!i + 1) in
+    i := !i + 2;
+    if u <> v then begin
+      let key = (min u v * n) + max u v in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        edges := (u, v, 1.0 +. Rng.float rng 1.0) :: !edges
+      end
+    end
+  done;
+  connect_up rng (Graph.create ~n !edges) 1.5
+
 let two_tier_isp rng ~core ~access_per_core =
   if core < 3 then invalid_arg "two_tier_isp: core < 3";
   let n = core * (1 + access_per_core) in

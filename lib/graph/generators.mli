@@ -34,6 +34,16 @@ val random_tree : Cr_util.Rng.t -> n:int -> Graph.t
 val preferential_attachment : Cr_util.Rng.t -> n:int -> edges_per_node:int -> Graph.t
 (** Barabási–Albert-style scale-free(-degree) graph, unit weights. *)
 
+val power_law : Cr_util.Rng.t -> n:int -> exponent:float -> Graph.t
+(** Sparse power-law degree-sequence graph via the configuration model:
+    degrees drawn i.i.d. from [P(d) ∝ d^{-exponent}] on
+    [d ∈ \[1, ⌊√n⌋\]] (the degree sum is bumped to even before stub
+    pairing), self-loops and duplicate pairings dropped, uniform weights
+    in [\[1, 2\]]; connected up by random spanning links.  With
+    [exponent ≈ 2.5] the expected degree is ≈ 2, i.e. [m ≈ n] — the
+    sparse regime the Agarwal–Godfrey–Har-Peled-style oracle targets.
+    @raise Invalid_argument if [n < 4] or [exponent <= 1]. *)
+
 val two_tier_isp : Cr_util.Rng.t -> core:int -> access_per_core:int -> Graph.t
 (** ISP-like hierarchy: a well-connected core ring with shortcut links
     (weight ~10, long-haul) and per-core-router access trees (weight ~1,

@@ -31,6 +31,8 @@ type event =
   | Replan of { at : int }
   | Deliver of { phase : int; node : int }
   | No_route of { phase : int }
+  | Bunch_probe of { level : int; active : int; witness : int; hit : bool }
+  | Stitch of { via : int; up_hops : int; down_hops : int }
 
 type sink = event -> unit
 
@@ -44,12 +46,15 @@ let label = function
   | Replan _ -> "replan"
   | Deliver _ -> "deliver"
   | No_route _ -> "no_route"
+  | Bunch_probe _ -> "bunch_probe"
+  | Stitch _ -> "stitch"
 
 let phase_of = function
   | Phase_start { phase; _ } | Climb { phase; _ } | Phase_result { phase; _ }
   | Deliver { phase; _ } | No_route { phase } ->
       Some phase
-  | Tree_step _ | Stall _ | Deflect _ | Replan _ -> None
+  | Bunch_probe { level; _ } -> Some level
+  | Tree_step _ | Stall _ | Deflect _ | Replan _ | Stitch _ -> None
 
 let event_to_string = function
   | Phase_start { phase; kind; center; bound } -> (
@@ -77,6 +82,11 @@ let event_to_string = function
   | Replan { at } -> Printf.sprintf "replan from %d" at
   | Deliver { phase; node } -> Printf.sprintf "delivered at %d (phase %d)" node phase
   | No_route { phase } -> Printf.sprintf "no route (gave up after phase %d)" phase
+  | Bunch_probe { level; active; witness; hit } ->
+      Printf.sprintf "bunch probe level %d: pivot %d of %d %s" level witness active
+        (if hit then "hit" else "miss")
+  | Stitch { via; up_hops; down_hops } ->
+      Printf.sprintf "stitch via %d: %d hops up, %d hops down" via up_hops down_hops
 
 let event_to_json ev =
   let module J = Cr_util.Jsonl in
@@ -97,6 +107,11 @@ let event_to_json ev =
     | Replan { at } -> [ ("at", J.int at) ]
     | Deliver { phase; node } -> [ ("phase", J.int phase); ("node", J.int node) ]
     | No_route { phase } -> [ ("phase", J.int phase) ]
+    | Bunch_probe { level; active; witness; hit } ->
+        [ ("level", J.int level); ("active", J.int active); ("witness", J.int witness);
+          ("hit", J.bool hit) ]
+    | Stitch { via; up_hops; down_hops } ->
+        [ ("via", J.int via); ("up_hops", J.int up_hops); ("down_hops", J.int down_hops) ]
   in
   J.obj (("event", J.str (label ev)) :: fields)
 

@@ -41,6 +41,14 @@ type event =
   | Replan of { at : int }  (** Failure simulation: fresh route request. *)
   | Deliver of { phase : int; node : int }
   | No_route of { phase : int }
+  | Bunch_probe of { level : int; active : int; witness : int; hit : bool }
+      (** Oracle query: the level-[level] pivot [witness] of the
+          currently-[active] endpoint was probed against the other
+          endpoint's bunch. *)
+  | Stitch of { via : int; up_hops : int; down_hops : int }
+      (** Oracle path report: the returned walk climbs [up_hops] tree
+          edges to the meeting witness [via] and descends [down_hops] to
+          the destination. *)
 
 type sink = event -> unit
 

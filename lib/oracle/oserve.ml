@@ -1,0 +1,183 @@
+(* Oracle batch serving: the second query surface through the engine.
+   An oracle query batch is sharded, cached and guarded exactly like a
+   routing batch — Engine.run_custom with an oracle measure closure —
+   so the determinism contract carries over verbatim: the omeasured
+   array is a pure function of (apsp, oracle, pairs), bit-identical
+   across pool widths and with the per-lane caches on or off. *)
+
+module Pool = Cr_util.Domain_pool
+module Stats = Cr_util.Stats
+module Jsonl = Cr_util.Jsonl
+module Guard = Cr_guard
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Sim = Compact_routing.Simulator
+module Engine = Cr_engine.Engine
+module Workload = Cr_engine.Workload
+
+type omeasured = {
+  src : int;
+  dst : int;
+  est : float;
+  dist : float;
+  ok : bool;
+  hops : int;
+  stretch : float;
+}
+
+let placeholder =
+  { src = 0; dst = 0; est = infinity; dist = infinity; ok = false; hops = 0;
+    stretch = infinity }
+
+(* A walk is priced independently by Simulator.check_walk; the two tree
+   halves of the estimate are Dijkstra sums, so re-pricing edge-by-edge
+   can differ by association — hence the relative tolerance. *)
+let cost_tol = 1e-9
+
+let measure apsp oracle src dst =
+  let g = Apsp.graph apsp in
+  let d = Apsp.distance apsp src dst in
+  if src = dst then { src; dst; est = 0.0; dist = 0.0; ok = true; hops = 0; stretch = 1.0 }
+  else
+    match Path_oracle.path oracle src dst with
+    | None ->
+        { src; dst; est = infinity; dist = d; ok = false; hops = 0; stretch = infinity }
+    | Some a ->
+        let est = a.Path_oracle.est in
+        let chk = Sim.check_walk g ~src ~dst ~delivered:true a.Path_oracle.walk in
+        let priced_ok =
+          Sim.is_delivered chk.Sim.outcome
+          && abs_float (chk.Sim.checked_cost -. est) <= cost_tol *. Float.max 1.0 est
+        in
+        {
+          src;
+          dst;
+          est;
+          dist = d;
+          ok = priced_ok;
+          hops = chk.Sim.checked_hops;
+          stretch = (if d > 0.0 && d < infinity then est /. d else infinity);
+        }
+
+let run_batch engine apsp oracle pairs =
+  let n = Graph.n (Apsp.graph apsp) in
+  let out, metrics, _ =
+    Engine.run_custom engine ~n ~placeholder
+      ~delivered:(fun m -> m.ok)
+      ~measure:(fun s d -> measure apsp oracle s d)
+      pairs
+  in
+  ( Array.map (function Ok m -> m | Error _ -> assert false (* unguarded is total *)) out,
+    metrics )
+
+let run_guarded ?(chaos = Guard.Chaos.none) engine apsp oracle pairs =
+  let n = Graph.n (Apsp.graph apsp) in
+  Engine.run_custom ~guarded:true ~chaos engine ~n ~placeholder
+    ~delivered:(fun m -> m.ok)
+    ~measure:(fun s d -> measure apsp oracle s d)
+    pairs
+
+type report = {
+  oracle_k : int;
+  workload : string;
+  dist : string;
+  queries : int;
+  domains : int;
+  cache_capacity : int;
+  guard_label : string;
+  chaos_label : string;
+  wall_s : float;
+  queries_per_sec : float;
+  latency : Stats.summary;
+  cache_hits : int;
+  cache_misses : int;
+  guards : Engine.guard_stats;
+  ok : int; (* valid answers among the served queries *)
+  stretch_mean : float;
+  stretch_max : float;
+  size_entries : int;
+  storage_bits : int;
+}
+
+let hit_rate r =
+  let total = r.cache_hits + r.cache_misses in
+  if total = 0 then 0.0 else float_of_int r.cache_hits /. float_of_int total
+
+let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ?(policy = Guard.Policy.off)
+    ?(chaos = Guard.Chaos.none) ?(guard_label = "") ~domains ~seed ~queries ~workload apsp
+    oracle =
+  let pool = Pool.create ~domains in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let n = Graph.n (Apsp.graph apsp) in
+      let pairs = Workload.generate ~pool ~connected_in:apsp dist ~seed ~n ~count:queries in
+      let engine = Engine.create ~cache ~policy ~pool () in
+      let outcomes, m, gstats = run_guarded ~chaos engine apsp oracle pairs in
+      let served =
+        Array.of_list
+          (List.filter_map
+             (function Ok meas -> Some meas | Error _ -> None)
+             (Array.to_list outcomes))
+      in
+      let valid =
+        Array.of_list (List.filter (fun (r : omeasured) -> r.ok) (Array.to_list served))
+      in
+      let stretches = Array.map (fun (r : omeasured) -> r.stretch) valid in
+      let s = if Array.length stretches = 0 then Stats.empty_summary else Stats.summarize stretches in
+      {
+        oracle_k = Path_oracle.k oracle;
+        workload;
+        dist = Workload.dist_to_string dist;
+        queries = m.Engine.queries;
+        domains = Pool.domains pool;
+        cache_capacity = cache;
+        guard_label =
+          (if guard_label <> "" then guard_label
+           else if Guard.Policy.is_off policy then "off"
+           else "custom");
+        chaos_label = Guard.Chaos.label chaos;
+        wall_s = m.Engine.wall_s;
+        queries_per_sec = m.Engine.routes_per_sec;
+        latency = m.Engine.latency;
+        cache_hits = m.Engine.cache_hits;
+        cache_misses = m.Engine.cache_misses;
+        guards = gstats;
+        ok = Array.length valid;
+        stretch_mean = s.Stats.mean;
+        stretch_max = s.Stats.max;
+        size_entries = Path_oracle.size_entries oracle;
+        storage_bits = Path_oracle.storage_bits oracle;
+      })
+
+let report_to_json r =
+  Jsonl.obj
+    [
+      ("surface", Jsonl.str "oracle");
+      ("k", Jsonl.int r.oracle_k);
+      ("workload", Jsonl.str r.workload);
+      ("dist", Jsonl.str r.dist);
+      ("queries", Jsonl.int r.queries);
+      ("domains", Jsonl.int r.domains);
+      ("cache", Jsonl.int r.cache_capacity);
+      ("guards", Jsonl.str r.guard_label);
+      ("chaos", Jsonl.str r.chaos_label);
+      ("wall_s", Jsonl.float r.wall_s);
+      ("oracle_queries_per_sec", Jsonl.float r.queries_per_sec);
+      ("latency_p50_us", Jsonl.float (1e6 *. r.latency.Stats.p50));
+      ("latency_p95_us", Jsonl.float (1e6 *. r.latency.Stats.p95));
+      ("latency_p99_us", Jsonl.float (1e6 *. r.latency.Stats.p99));
+      ("cache_hits", Jsonl.int r.cache_hits);
+      ("cache_misses", Jsonl.int r.cache_misses);
+      ("hit_rate", Jsonl.float (hit_rate r));
+      ("served", Jsonl.int r.guards.Engine.ok);
+      ("timed_out", Jsonl.int r.guards.Engine.timed_out);
+      ("shed", Jsonl.int r.guards.Engine.shed);
+      ("breaker_open", Jsonl.int r.guards.Engine.breaker_open);
+      ("worker_lost", Jsonl.int r.guards.Engine.worker_lost);
+      ("ok", Jsonl.int r.ok);
+      ("stretch_mean", Jsonl.float r.stretch_mean);
+      ("stretch_max", Jsonl.float r.stretch_max);
+      ("size_entries", Jsonl.int r.size_entries);
+      ("storage_bits", Jsonl.int r.storage_bits);
+    ]

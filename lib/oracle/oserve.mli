@@ -1,0 +1,93 @@
+(** Oracle batch serving — the second query surface of the engine.
+
+    Pushes distance/path queries through {!Cr_engine.Engine.run_custom}
+    so an oracle batch gets the same static sharding, per-lane LRU
+    caches, guard chain and metrics as a routing batch.  The
+    determinism contract carries over: {!run_batch}'s result array is a
+    pure function of [(apsp, oracle, pairs)] — bit-identical across
+    pool widths and with caches on or off (tested in
+    test/test_oracle.ml). *)
+
+type omeasured = {
+  src : int;
+  dst : int;
+  est : float;  (** oracle estimate *)
+  dist : float;  (** true distance (ground truth) *)
+  ok : bool;
+      (** the reported walk is valid, ends at [dst], and its
+          independently-priced weight equals [est] (1e-9 relative) *)
+  hops : int;
+  stretch : float;  (** [est / dist]; [1.0] for [src = dst]; [infinity] when not [ok] *)
+}
+
+val measure : Cr_graph.Apsp.t -> Path_oracle.t -> int -> int -> omeasured
+(** One oracle query, answered and then refereed: the stitched walk is
+    validated and priced independently by
+    [Compact_routing.Simulator.check_walk].  Pure in its arguments. *)
+
+val run_batch :
+  omeasured Cr_engine.Engine.t ->
+  Cr_graph.Apsp.t ->
+  Path_oracle.t ->
+  (int * int) array ->
+  omeasured array * Cr_engine.Engine.metrics
+(** Unguarded oracle batch; [result.(i)] answers [pairs.(i)]. *)
+
+val run_guarded :
+  ?chaos:Cr_guard.Chaos.t ->
+  omeasured Cr_engine.Engine.t ->
+  Cr_graph.Apsp.t ->
+  Path_oracle.t ->
+  (int * int) array ->
+  (omeasured, Cr_guard.Rejection.t) result array
+  * Cr_engine.Engine.metrics
+  * Cr_engine.Engine.guard_stats
+(** The guarded path: same guard chain and rejection taxonomy as
+    routed serving ({!Cr_engine.Engine.run_guarded}). *)
+
+type report = {
+  oracle_k : int;
+  workload : string;  (** caller-supplied label *)
+  dist : string;
+  queries : int;
+  domains : int;
+  cache_capacity : int;
+  guard_label : string;
+  chaos_label : string;
+  wall_s : float;
+  queries_per_sec : float;  (** oracle queries per second *)
+  latency : Cr_util.Stats.summary;
+  cache_hits : int;
+  cache_misses : int;
+  guards : Cr_engine.Engine.guard_stats;
+  ok : int;  (** valid (refereed) answers among the served queries *)
+  stretch_mean : float;
+  stretch_max : float;
+  size_entries : int;
+  storage_bits : int;
+}
+
+val hit_rate : report -> float
+
+val run :
+  ?cache:int ->
+  ?dist:Cr_engine.Workload.dist ->
+  ?policy:Cr_guard.Policy.t ->
+  ?chaos:Cr_guard.Chaos.t ->
+  ?guard_label:string ->
+  domains:int ->
+  seed:int ->
+  queries:int ->
+  workload:string ->
+  Cr_graph.Apsp.t ->
+  Path_oracle.t ->
+  report
+(** The closed-loop oracle serve mirroring {!Cr_engine.Serve.run}:
+    generates [queries] connected pairs ([dist] defaults to
+    [Zipf 1.1]), serves them guarded on a fresh pool of [domains] lanes
+    (shut down before returning, even on raise), and reports.  The
+    query stream and answers depend only on [(dist, seed, queries)] —
+    never on [domains] or [cache]. *)
+
+val report_to_json : report -> string
+(** One strict-JSON object (single line, no trailing newline). *)

@@ -1,0 +1,59 @@
+(** Sparse-graph path-reporting oracle — Agarwal–Godfrey–Har-Peled
+    style, tuned for [m ≈ n].
+
+    Samples [~√m] landmarks and stores one full shortest-path tree per
+    landmark, plus a per-node exact {e vicinity} ball reaching out to
+    the node's nearest landmark (with tree witnesses, constructively
+    closed like {!Path_oracle}).  Queries answer
+    [min(exact-if-in-vicinity, d(u,l_u) + d(l_u,v), d(v,l_v) + d(l_v,u))]
+    — stretch at most 3 (when [v] is outside [u]'s vicinity,
+    [d(u,l_u) ≤ d(u,v)]), and exact inside a vicinity.  Every finite
+    answer carries a concrete walk: the vicinity tree chain, or the
+    two landmark-tree halves.
+
+    On a power-law graph with [m ≈ n] this stores [O(n^{3/2})] entries
+    against the TZ oracle's [O(k · n^{1+1/k})] with stretch 3 instead
+    of [2k − 1] — the sparse corner of the space–stretch trade-off.
+
+    Determinism: [build] is a pure function of
+    [(apsp, seed, landmarks)]. *)
+
+type t
+
+type answer = {
+  est : float;
+  walk : int list;  (** concrete walk from [u] to [v] realizing [est] *)
+  via : int;  (** meeting node: vicinity target or the landmark *)
+  exact : bool;  (** answered from a vicinity ball (est = true distance) *)
+}
+
+val build : ?seed:int -> ?landmarks:int -> Cr_graph.Apsp.t -> t
+(** [landmarks] defaults to [⌈√m⌉] (at least 1); [seed] (default 41)
+    drives the landmark sample.
+    @raise Invalid_argument if [landmarks] is not in [\[1, n\]]. *)
+
+val landmark_count : t -> int
+
+val query : t -> int -> int -> float
+(** Estimated distance; exact when one endpoint lies in the other's
+    vicinity; [infinity] for disconnected pairs; symmetric (canonical
+    [(min, max)] ordering, like {!Path_oracle.query}). *)
+
+val path : ?trace:Cr_obs.Trace.sink -> t -> int -> int -> answer option
+(** [None] iff disconnected; otherwise a valid walk whose weight equals
+    [est] up to floating-point association.  Emits one
+    [Cr_obs.Trace.Stitch] per answer when traced. *)
+
+val stretch_bound : t -> float
+(** [3.] *)
+
+val size_entries : t -> int
+(** Vicinity entries stored, closure included. *)
+
+val closure_entries : t -> int
+(** Entries added by constructive closure (already in {!size_entries}). *)
+
+val storage_bits : t -> int
+(** Vicinity entries (target id + distance + next-hop id) + landmark
+    trees (distance + parent id per node per landmark) + the per-node
+    nearest-landmark pointer. *)

@@ -652,6 +652,49 @@ let qcheck_tests =
         let rng = Rng.create (seed + 1) in
         let pairs = Simulator.sample_pairs rng apsp ~count:40 in
         Array.for_all (fun (s, d) -> (Simulator.measure apsp sch s d).Simulator.delivered) pairs);
+    Test.make ~name:"distance oracle estimate within [d, (2k-1)d]" ~count:10
+      (pair (int_range 0 500) (int_range 1 4))
+      (fun (seed, k) ->
+        let apsp = prepared_graph ~n:60 seed in
+        let o = Distance_oracle.build ~k ~seed apsp in
+        let bound = Distance_oracle.stretch_bound o in
+        let ok = ref true in
+        for u = 0 to 59 do
+          for v = u + 1 to 59 do
+            let d = Apsp.distance apsp u v in
+            let e = Distance_oracle.query o u v in
+            if d = infinity then (if e <> infinity then ok := false)
+            else if e < d -. 1e-9 || e > (bound *. d) +. 1e-9 then ok := false
+          done
+        done;
+        !ok);
+    Test.make ~name:"distance oracle query is symmetric" ~count:10
+      (pair (int_range 0 500) (int_range 1 4))
+      (fun (seed, k) ->
+        let apsp = prepared_graph ~n:50 seed in
+        let o = Distance_oracle.build ~k ~seed apsp in
+        let ok = ref true in
+        for u = 0 to 49 do
+          for v = 0 to 49 do
+            (* exact equality: both directions run the canonical walk *)
+            if Distance_oracle.query o u v <> Distance_oracle.query o v u then ok := false
+          done
+        done;
+        !ok);
+    Test.make ~name:"distance oracle build is deterministic per seed" ~count:8
+      (pair (int_range 0 500) (int_range 1 4))
+      (fun (seed, k) ->
+        let apsp = prepared_graph ~n:40 seed in
+        let a = Distance_oracle.build ~k ~seed apsp in
+        let b = Distance_oracle.build ~k ~seed apsp in
+        let ok = ref true in
+        if Distance_oracle.size_entries a <> Distance_oracle.size_entries b then ok := false;
+        for u = 0 to 39 do
+          for v = 0 to 39 do
+            if Distance_oracle.query a u v <> Distance_oracle.query b u v then ok := false
+          done
+        done;
+        !ok);
     Test.make ~name:"decomposition ranges valid on random graphs" ~count:15
       (pair (int_range 0 500) (int_range 2 4))
       (fun (seed, k) ->

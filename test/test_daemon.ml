@@ -82,6 +82,7 @@ let test_protocol_queries () =
   in
   ok "route 3 7" (Protocol.Route (3, 7));
   ok "  dist 0 12  " (Protocol.Dist (0, 12));
+  ok "path 2 5" (Protocol.Path (2, 5));
   ok "sync" Protocol.Sync;
   ok "stats" Protocol.Stats;
   ok "epoch" Protocol.Epoch;
@@ -165,6 +166,41 @@ let test_mutation_validation () =
   checkb "floor rejected" true (String.sub r 0 4 = "err ");
   checki "nothing queued" 0 (Daemon.backlog d);
   checki "epoch unchanged" 0 (Daemon.epoch_id d);
+  Daemon.close d
+
+let test_path_command () =
+  let g = mk_graph 15 in
+  let d = Daemon.create ~staleness_every:0 ~params g in
+  let r = feed1 d "path 0 5" in
+  checkb "tagged ok" true (String.sub r 0 8 = "ok path ");
+  checkb "carries estimate" true (contains r " est=");
+  checkb "carries walk" true (contains r " walk=");
+  checkb "carries epoch" true (contains r " epoch=0");
+  (* the walk's endpoints are the queried pair *)
+  let walk_field =
+    List.find_map
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | Some j when String.sub tok 0 j = "walk" ->
+            Some (String.sub tok (j + 1) (String.length tok - j - 1))
+        | _ -> None)
+      (String.split_on_char ' ' r)
+  in
+  (match walk_field with
+  | Some w -> (
+      match String.split_on_char '-' w with
+      | first :: _ :: _ as hops ->
+          checks "walk starts at src" "0" first;
+          checks "walk ends at dst" "5" (List.nth hops (List.length hops - 1))
+      | _ -> Alcotest.failf "unexpected walk %S" w)
+  | None -> Alcotest.failf "no walk field in %S" r);
+  (* out-of-range endpoints are refused without touching the epoch *)
+  let r = feed1 d "path 0 9999" in
+  checkb "range rejected" true (String.sub r 0 4 = "err ");
+  (* the oracle surface shows up in stats *)
+  let stats = feed1 d "stats" in
+  checkb "paths counted" true (contains stats "\"paths\":1");
+  checkb "oracle sized" true (contains stats "\"oracle_entries\":");
   Daemon.close d
 
 let test_stats_json_strict () =
@@ -321,7 +357,11 @@ let test_breaker_opens_under_persistent_faults () =
 let answers d pairs =
   List.concat_map
     (fun (u, v) ->
-      [ feed1 d (Printf.sprintf "dist %d %d" u v); feed1 d (Printf.sprintf "route %d %d" u v) ])
+      [
+        feed1 d (Printf.sprintf "dist %d %d" u v);
+        feed1 d (Printf.sprintf "route %d %d" u v);
+        feed1 d (Printf.sprintf "path %d %d" u v);
+      ])
     pairs
 
 let strip_epoch r =
@@ -743,6 +783,7 @@ let () =
         [
           Alcotest.test_case "lifecycle" `Quick test_epoch_lifecycle;
           Alcotest.test_case "mutation validation" `Quick test_mutation_validation;
+          Alcotest.test_case "path command" `Quick test_path_command;
           Alcotest.test_case "stats json strict" `Quick test_stats_json_strict;
           Alcotest.test_case "journal replays" `Quick test_journal_replays;
         ] );

@@ -416,6 +416,31 @@ let test_gen_preferential () =
   checki "n" 100 (Graph.n g);
   connected_positive "pa" g
 
+let test_gen_power_law () =
+  let g = Generators.power_law (Rng.create 71) ~n:200 ~exponent:2.5 in
+  checki "n" 200 (Graph.n g);
+  connected_positive "power-law" g;
+  (* the configuration model with gamma ~ 2.5 stays sparse: m = O(n) *)
+  checkb "sparse" true (Graph.m g < 4 * Graph.n g);
+  (* deterministic per seed, and the seed matters *)
+  let g2 = Generators.power_law (Rng.create 71) ~n:200 ~exponent:2.5 in
+  checkb "deterministic" true (Graph.edges g = Graph.edges g2);
+  let g3 = Generators.power_law (Rng.create 72) ~n:200 ~exponent:2.5 in
+  checkb "seed matters" true (Graph.edges g <> Graph.edges g3);
+  Alcotest.check_raises "n too small" (Invalid_argument "power_law: n < 4") (fun () ->
+      ignore (Generators.power_law (Rng.create 1) ~n:3 ~exponent:2.5));
+  Alcotest.check_raises "exponent too small" (Invalid_argument "power_law: exponent <= 1")
+    (fun () -> ignore (Generators.power_law (Rng.create 1) ~n:32 ~exponent:1.0))
+
+let test_gen_power_law_exponent_shapes_density () =
+  (* a steeper exponent pushes the degree distribution toward 1, so the
+     realized edge count falls (deterministic: fixed seed) *)
+  let flat = Generators.power_law (Rng.create 73) ~n:400 ~exponent:2.1 in
+  let steep = Generators.power_law (Rng.create 73) ~n:400 ~exponent:3.5 in
+  checkb "steeper exponent, fewer edges" true (Graph.m flat > Graph.m steep);
+  (* the steep limit degenerates toward a near-1-regular pairing: m ~ n *)
+  checkb "steep limit near m=n" true (Graph.m steep <= 440 && Graph.m steep >= 360)
+
 let test_gen_isp () =
   let rng = Rng.create 61 in
   let g = Generators.two_tier_isp rng ~core:8 ~access_per_core:10 in
@@ -830,6 +855,9 @@ let () =
           Alcotest.test_case "ring chords" `Quick test_gen_ring_chords;
           Alcotest.test_case "tree" `Quick test_gen_tree;
           Alcotest.test_case "preferential" `Quick test_gen_preferential;
+          Alcotest.test_case "power law" `Quick test_gen_power_law;
+          Alcotest.test_case "power law exponent shapes density" `Quick
+            test_gen_power_law_exponent_shapes_density;
           Alcotest.test_case "isp" `Quick test_gen_isp;
           Alcotest.test_case "stretch weights" `Quick test_gen_stretch_weights;
           Alcotest.test_case "exponential line" `Quick test_gen_exponential_line;

@@ -1,0 +1,315 @@
+(* Tests for the cr_oracle library: the path-reporting contract (every
+   answer ships a concrete walk whose independently-priced weight equals
+   the estimate), the 2k-1 stretch guarantee, symmetry, determinism,
+   the AGH sparse oracle's stretch-3 / exact-in-vicinity contract, the
+   rt routing scheme wrapper, the hop-level trace events, and the
+   engine determinism contract for oracle batches (bit-identical across
+   pool widths and cache capacities). *)
+
+module Rng = Cr_util.Rng
+module Graph = Cr_graph.Graph
+module Apsp = Cr_graph.Apsp
+module Generators = Cr_graph.Generators
+module Trace = Cr_obs.Trace
+module Po = Cr_oracle.Path_oracle
+module So = Cr_oracle.Sparse_oracle
+module Oserve = Cr_oracle.Oserve
+module Engine = Cr_engine.Engine
+module Pool = Cr_util.Domain_pool
+open Compact_routing
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let prepared_graph ?(n = 80) ?(avg = 4.0) seed =
+  let rng = Rng.create seed in
+  let g = Graph.relabel rng (Generators.erdos_renyi rng ~n ~avg_degree:avg) in
+  Apsp.compute (Graph.normalize g)
+
+(* referee a reported walk: realizable in g, ends at dst, and its
+   independently-priced weight matches the estimate (1e-9 relative) *)
+let walk_ok g ~src ~dst ~est walk =
+  let c = Simulator.check_walk g ~src ~dst ~delivered:true walk in
+  Simulator.is_delivered c.Simulator.outcome
+  && Float.abs (c.Simulator.checked_cost -. est) <= 1e-9 *. Float.max 1.0 est
+
+let rec last = function [ x ] -> x | _ :: tl -> last tl | [] -> invalid_arg "last"
+
+(* ------------------------------------------------------------------ *)
+(* Path oracle: the reporting contract *)
+
+let path_contract_case ~n ~k seed =
+  let apsp = prepared_graph ~n seed in
+  let g = Apsp.graph apsp in
+  let oracle = Po.build ~k ~seed apsp in
+  let bound = Po.stretch_bound oracle in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let d = Apsp.distance apsp u v in
+      let est = Po.query oracle u v in
+      (match Po.path oracle u v with
+      | None -> if d < infinity then ok := false
+      | Some a ->
+          if a.Po.est <> est then ok := false;
+          if List.hd a.Po.walk <> u || last a.Po.walk <> v then ok := false;
+          if not (walk_ok g ~src:u ~dst:v ~est:a.Po.est a.Po.walk) then ok := false);
+      if d < infinity && (est < d -. 1e-9 || est > (bound *. d) +. 1e-9) then ok := false;
+      if d = infinity && est <> infinity then ok := false
+    done
+  done;
+  !ok
+
+let test_path_contract () =
+  List.iter
+    (fun (n, k, seed) ->
+      checkb (Printf.sprintf "contract n=%d k=%d seed=%d" n k seed) true
+        (path_contract_case ~n ~k seed))
+    [ (40, 1, 3); (60, 2, 5); (80, 3, 7); (60, 4, 11) ]
+
+let test_path_trivial_and_symmetric () =
+  let apsp = prepared_graph ~n:50 13 in
+  let oracle = Po.build ~k:3 ~seed:13 apsp in
+  (match Po.path oracle 7 7 with
+  | Some a ->
+      checkb "self est 0" true (a.Po.est = 0.0);
+      checkb "self walk" true (a.Po.walk = [ 7 ])
+  | None -> Alcotest.fail "path u u");
+  let ok = ref true in
+  for u = 0 to 49 do
+    for v = 0 to 49 do
+      (* the canonical (min,max) ordering makes both directions exact mirrors *)
+      if Po.query oracle u v <> Po.query oracle v u then ok := false;
+      match (Po.path oracle u v, Po.path oracle v u) with
+      | Some a, Some b -> if a.Po.walk <> List.rev b.Po.walk then ok := false
+      | None, None -> ()
+      | _ -> ok := false
+    done
+  done;
+  checkb "symmetric" true !ok
+
+let test_path_disconnected () =
+  (* two triangles, no bridge *)
+  let edges = [ (0, 1, 1.0); (1, 2, 1.0); (0, 2, 1.0); (3, 4, 1.0); (4, 5, 1.0); (3, 5, 1.0) ] in
+  let apsp = Apsp.compute (Graph.create ~n:6 edges) in
+  let oracle = Po.build ~k:3 ~seed:1 apsp in
+  checkb "query infinity" true (Po.query oracle 0 4 = infinity);
+  checkb "path none" true (Po.path oracle 0 4 = None);
+  checkb "same side ok" true (Po.path oracle 3 5 <> None)
+
+let test_path_never_worse_than_distance_oracle () =
+  (* same hierarchy, same seed: the path oracle's closure only adds
+     entries, so its alternating walk can stop no later *)
+  List.iter
+    (fun seed ->
+      let apsp = prepared_graph ~n:60 seed in
+      let po = Po.build ~k:3 ~seed apsp in
+      let dz = Distance_oracle.build ~k:3 ~seed apsp in
+      let ok = ref true in
+      for u = 0 to 59 do
+        for v = 0 to 59 do
+          if Po.query po u v > Distance_oracle.query dz u v +. 1e-9 then ok := false
+        done
+      done;
+      checkb (Printf.sprintf "seed %d" seed) true !ok)
+    [ 2; 17; 23 ]
+
+let test_path_deterministic () =
+  let apsp = prepared_graph ~n:50 29 in
+  let a = Po.build ~k:3 ~seed:29 apsp in
+  let b = Po.build ~k:3 ~seed:29 apsp in
+  checki "size" (Po.size_entries a) (Po.size_entries b);
+  let ok = ref true in
+  for u = 0 to 49 do
+    for v = 0 to 49 do
+      match (Po.path a u v, Po.path b u v) with
+      | Some x, Some y -> if x <> y then ok := false
+      | None, None -> ()
+      | _ -> ok := false
+    done
+  done;
+  checkb "answers identical" true !ok
+
+let test_storage_accounting () =
+  let apsp = prepared_graph ~n:60 31 in
+  let oracle = Po.build ~k:3 ~seed:31 apsp in
+  let total = ref 0 in
+  for u = 0 to 59 do
+    total := !total + Po.node_entries oracle u
+  done;
+  checki "entries sum" (Po.size_entries oracle) !total;
+  checkb "closure counted" true (Po.closure_entries oracle >= 0);
+  checkb "bits positive" true (Po.storage_bits oracle > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Trace events *)
+
+let test_trace_events () =
+  let apsp = prepared_graph ~n:50 37 in
+  let oracle = Po.build ~k:3 ~seed:37 apsp in
+  let probes = ref 0 and stitches = ref 0 and hits = ref 0 in
+  let sink = function
+    | Trace.Bunch_probe { hit; _ } ->
+        incr probes;
+        if hit then incr hits
+    | Trace.Stitch _ -> incr stitches
+    | _ -> ()
+  in
+  (match Po.path ~trace:sink oracle 0 17 with
+  | Some _ ->
+      checkb "probes emitted" true (!probes > 0);
+      checki "one stitch" 1 !stitches;
+      checki "last probe hits" 1 !hits
+  | None -> Alcotest.fail "expected a path");
+  (* the sink is pure annotation: the answer is unchanged *)
+  checkb "annotation only" true (Po.path ~trace:sink oracle 0 17 = Po.path oracle 0 17)
+
+(* ------------------------------------------------------------------ *)
+(* Sparse (AGH) oracle *)
+
+let sparse_case ?landmarks ~n seed =
+  let apsp = prepared_graph ~n seed in
+  let g = Apsp.graph apsp in
+  let oracle = So.build ~seed ?landmarks apsp in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let d = Apsp.distance apsp u v in
+      let est = So.query oracle u v in
+      (match So.path oracle u v with
+      | None -> if d < infinity then ok := false
+      | Some a ->
+          if a.So.est <> est then ok := false;
+          if List.hd a.So.walk <> u || last a.So.walk <> v then ok := false;
+          if not (walk_ok g ~src:u ~dst:v ~est:a.So.est a.So.walk) then ok := false;
+          if a.So.exact && Float.abs (a.So.est -. d) > 1e-9 *. Float.max 1.0 d then ok := false);
+      if d < infinity && (est < d -. 1e-9 || est > (3.0 *. d) +. 1e-9) then ok := false
+    done
+  done;
+  !ok
+
+let test_sparse_contract () =
+  List.iter
+    (fun (n, seed) ->
+      checkb (Printf.sprintf "sparse n=%d seed=%d" n seed) true (sparse_case ~n seed))
+    [ (40, 3); (60, 5); (80, 7) ]
+
+let test_sparse_single_landmark () =
+  checkb "one landmark still within 3" true (sparse_case ~landmarks:1 ~n:40 11)
+
+let test_sparse_deterministic () =
+  let apsp = prepared_graph ~n:50 41 in
+  let a = So.build ~seed:41 apsp in
+  let b = So.build ~seed:41 apsp in
+  checki "landmarks" (So.landmark_count a) (So.landmark_count b);
+  checki "size" (So.size_entries a) (So.size_entries b);
+  let ok = ref true in
+  for u = 0 to 49 do
+    for v = 0 to 49 do
+      if So.path a u v <> So.path b u v then ok := false
+    done
+  done;
+  checkb "answers identical" true !ok
+
+(* ------------------------------------------------------------------ *)
+(* rt scheme: the oracle behind the Scheme interface *)
+
+let test_rt_scheme () =
+  let apsp = prepared_graph ~n:70 43 in
+  let sch = Cr_oracle.Rt_scheme.make ~k:3 ~seed:43 apsp in
+  Alcotest.(check string) "name" "rt" sch.Scheme.name;
+  let rng = Rng.create 44 in
+  let pairs = Simulator.sample_pairs rng apsp ~count:60 in
+  Array.iter
+    (fun (s, d) ->
+      let m = Simulator.measure apsp sch s d in
+      checkb (Printf.sprintf "%d->%d delivered" s d) true m.Simulator.delivered;
+      checkb
+        (Printf.sprintf "%d->%d stretch %.3f" s d m.Simulator.stretch)
+        true
+        (m.Simulator.stretch <= 5.0 +. 1e-9))
+    pairs;
+  checkb "storage accounted" true (Storage.total_bits sch.Scheme.storage > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Oserve: engine determinism for the oracle surface *)
+
+let test_oserve_measure () =
+  let apsp = prepared_graph ~n:60 47 in
+  let oracle = Po.build ~k:3 ~seed:47 apsp in
+  let m = Oserve.measure apsp oracle 3 29 in
+  checkb "ok" true m.Oserve.ok;
+  checkb "stretch bounded" true (m.Oserve.stretch <= 5.0 +. 1e-9);
+  let self = Oserve.measure apsp oracle 5 5 in
+  checkb "self ok" true self.Oserve.ok;
+  checkb "self stretch" true (self.Oserve.stretch = 1.0)
+
+let test_oserve_pool_and_cache_invariance () =
+  let apsp = prepared_graph ~n:60 53 in
+  let oracle = Po.build ~k:3 ~seed:53 apsp in
+  let rng = Rng.create 54 in
+  let pairs = Simulator.sample_pairs rng apsp ~count:300 in
+  let run ~domains ~cache =
+    let pool = Pool.create ~domains in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        let eng = Engine.create ~cache ~pool () in
+        let results, _ = Oserve.run_batch eng apsp oracle pairs in
+        results)
+  in
+  let baseline = run ~domains:1 ~cache:0 in
+  List.iter
+    (fun (domains, cache) ->
+      checkb
+        (Printf.sprintf "domains=%d cache=%d bit-identical" domains cache)
+        true
+        (run ~domains ~cache = baseline))
+    [ (1, 64); (2, 0); (4, 0); (4, 256) ]
+
+let test_oserve_guarded_off_matches_batch () =
+  let apsp = prepared_graph ~n:50 59 in
+  let oracle = Po.build ~k:3 ~seed:59 apsp in
+  let rng = Rng.create 60 in
+  let pairs = Simulator.sample_pairs rng apsp ~count:100 in
+  let eng = Engine.create () in
+  let plain, _ = Oserve.run_batch eng apsp oracle pairs in
+  let guarded, _, stats = Oserve.run_guarded (Engine.create ()) apsp oracle pairs in
+  checki "all admitted" (Array.length pairs) stats.Engine.ok;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok m -> checkb (Printf.sprintf "pair %d matches" i) true (m = plain.(i))
+      | Error _ -> Alcotest.failf "pair %d rejected with guards off" i)
+    guarded
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "path oracle",
+        [
+          Alcotest.test_case "reporting contract" `Quick test_path_contract;
+          Alcotest.test_case "trivial and symmetric" `Quick test_path_trivial_and_symmetric;
+          Alcotest.test_case "disconnected" `Quick test_path_disconnected;
+          Alcotest.test_case "never worse than distance oracle" `Quick
+            test_path_never_worse_than_distance_oracle;
+          Alcotest.test_case "deterministic" `Quick test_path_deterministic;
+          Alcotest.test_case "storage accounting" `Quick test_storage_accounting;
+          Alcotest.test_case "trace events" `Quick test_trace_events;
+        ] );
+      ( "sparse oracle",
+        [
+          Alcotest.test_case "stretch-3 contract" `Quick test_sparse_contract;
+          Alcotest.test_case "single landmark" `Quick test_sparse_single_landmark;
+          Alcotest.test_case "deterministic" `Quick test_sparse_deterministic;
+        ] );
+      ("rt scheme", [ Alcotest.test_case "delivers within 2k-1" `Quick test_rt_scheme ]);
+      ( "oserve",
+        [
+          Alcotest.test_case "measure referees walks" `Quick test_oserve_measure;
+          Alcotest.test_case "pool and cache invariance" `Quick
+            test_oserve_pool_and_cache_invariance;
+          Alcotest.test_case "guarded off matches batch" `Quick
+            test_oserve_guarded_off_matches_batch;
+        ] );
+    ]
