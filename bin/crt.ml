@@ -459,7 +459,12 @@ let serve_cmd =
          & info [ "domains" ] ~docv:"N" ~doc:"Worker-domain pool width (default min(8, recommended)).")
   in
   let cache_arg =
-    Arg.(value & opt int 0 & info [ "cache" ] ~docv:"C" ~doc:"Per-lane LRU route-plan cache capacity in entries (0 disables).")
+    Arg.(value & opt int 0 & info [ "cache" ] ~docv:"C" ~doc:"Route-plan cache capacity in entries, per lane (lane mode) or total (shared mode); 0 disables.")
+  in
+  let cache_mode_arg =
+    Arg.(value & opt string "lane"
+         & info [ "cache-mode" ] ~docv:"M"
+             ~doc:"Cache structure: lane (one LRU per domain), shared (one lock-free table for all domains) or off. Results are bit-identical across modes.")
   in
   let json_arg =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the per-run JSON lines to FILE instead of stdout.")
@@ -480,14 +485,24 @@ let serve_cmd =
     Arg.(value & opt int 42
          & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"Seed of the deterministic fault plans.")
   in
-  let run seed k workload graph_file aspect schemes queries dist domains cache guards chaos
-      budget chaos_seed json =
+  let run seed k workload graph_file aspect schemes queries dist domains cache cache_mode
+      guards chaos budget chaos_seed json =
     if domains < 1 then (
       Printf.eprintf "crt: --domains must be >= 1\n";
       exit 1);
     if cache < 0 then (
       Printf.eprintf "crt: --cache must be >= 0\n";
       exit 1);
+    let cache_mode =
+      match Cr_engine.Engine.cache_mode_of_string cache_mode with
+      | Ok m -> m
+      | Error msg ->
+          Printf.eprintf "crt: --cache-mode: %s\n" msg;
+          exit 2
+    in
+    if cache_mode = Cr_engine.Engine.Shared && cache = 0 then (
+      Printf.eprintf "crt: --cache-mode shared needs --cache > 0\n";
+      exit 2);
     let policy =
       match Cr_guard.Policy.preset_of_string ~batch_budget_s:budget guards with
       | Ok p -> p
@@ -517,8 +532,8 @@ let serve_cmd =
         List.map
           (fun scheme ->
             let r =
-              Serve.run ~cache ~dist ~policy ~chaos ~guard_label:guards ~domains ~seed:(seed + 1)
-                ~queries ~workload:wl_label apsp scheme
+              Serve.run ~cache ~cache_mode ~dist ~policy ~chaos ~guard_label:guards ~domains
+                ~seed:(seed + 1) ~queries ~workload:wl_label apsp scheme
             in
             Option.iter (fun w -> Cr_util.Jsonl.Writer.write w (Serve.report_to_json r)) writer;
             r)
@@ -532,8 +547,10 @@ let serve_cmd =
     let table =
       T.create
         ~title:
-          (Printf.sprintf "%s, %d queries (%s), k=%d, domains=%d, cache=%d, guards=%s, chaos=%s"
-             wl_label queries (Workload.dist_to_string dist) k domains cache guards
+          (Printf.sprintf
+             "%s, %d queries (%s), k=%d, domains=%d, cache=%d (%s), guards=%s, chaos=%s"
+             wl_label queries (Workload.dist_to_string dist) k domains cache
+             (Cr_engine.Engine.cache_mode_to_string cache_mode) guards
              (Cr_guard.Chaos.label chaos))
         [
           ("scheme", T.Left); ("routes/s", T.Right); ("p50 us", T.Right); ("p95 us", T.Right);
@@ -570,8 +587,8 @@ let serve_cmd =
        ~doc:"Closed-loop load generator: serve a query workload through the guarded batch engine.")
     Term.(
       const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ schemes_arg
-      $ queries_arg $ dist_arg $ domains_arg $ cache_arg $ guards_arg $ chaos_arg $ budget_arg
-      $ chaos_seed_arg $ json_arg)
+      $ queries_arg $ dist_arg $ domains_arg $ cache_arg $ cache_mode_arg $ guards_arg
+      $ chaos_arg $ budget_arg $ chaos_seed_arg $ json_arg)
 
 (* ---------- oracle ---------- *)
 
@@ -598,7 +615,12 @@ let oracle_cmd =
          & info [ "domains" ] ~docv:"N" ~doc:"Worker-domain pool width (default min(8, recommended)).")
   in
   let cache_arg =
-    Arg.(value & opt int 0 & info [ "cache" ] ~docv:"C" ~doc:"Per-lane LRU answer cache capacity in entries (0 disables).")
+    Arg.(value & opt int 0 & info [ "cache" ] ~docv:"C" ~doc:"Answer cache capacity in entries, per lane (lane mode) or total (shared mode); 0 disables.")
+  in
+  let cache_mode_arg =
+    Arg.(value & opt string "lane"
+         & info [ "cache-mode" ] ~docv:"M"
+             ~doc:"Cache structure: lane, shared or off. Shared mode keys oracle answers by canonical (min,max) pair, so both directions hit one entry.")
   in
   let guards_arg =
     Arg.(value & opt string "off"
@@ -619,14 +641,24 @@ let oracle_cmd =
   let json_arg =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the per-oracle JSON lines to FILE instead of stdout.")
   in
-  let run seed k workload graph_file aspect queries dist domains cache guards chaos budget
-      chaos_seed json =
+  let run seed k workload graph_file aspect queries dist domains cache cache_mode guards
+      chaos budget chaos_seed json =
     if domains < 1 then (
       Printf.eprintf "crt: --domains must be >= 1\n";
       exit 1);
     if cache < 0 then (
       Printf.eprintf "crt: --cache must be >= 0\n";
       exit 1);
+    let cache_mode =
+      match Cr_engine.Engine.cache_mode_of_string cache_mode with
+      | Ok m -> m
+      | Error msg ->
+          Printf.eprintf "crt: --cache-mode: %s\n" msg;
+          exit 2
+    in
+    if cache_mode = Cr_engine.Engine.Shared && cache = 0 then (
+      Printf.eprintf "crt: --cache-mode shared needs --cache > 0\n";
+      exit 2);
     let policy =
       match Cr_guard.Policy.preset_of_string ~batch_budget_s:budget guards with
       | Ok p -> p
@@ -650,8 +682,8 @@ let oracle_cmd =
     let oracle = Po.build ~k ~seed apsp in
     let report =
       try
-        Oserve.run ~cache ~dist ~policy ~chaos ~guard_label:guards ~domains ~seed:(seed + 1)
-          ~queries ~workload:wl_label apsp oracle
+        Oserve.run ~cache ~cache_mode ~dist ~policy ~chaos ~guard_label:guards ~domains
+          ~seed:(seed + 1) ~queries ~workload:wl_label apsp oracle
       with Workload.Sample_exhausted ->
         Printf.eprintf
           "crt: could not sample %d connected pairs; is the graph disconnected or tiny?\n" queries;
@@ -691,8 +723,10 @@ let oracle_cmd =
     let table =
       T.create
         ~title:
-          (Printf.sprintf "%s, %d queries (%s), k=%d, domains=%d, cache=%d, guards=%s, chaos=%s"
-             wl_label queries (Workload.dist_to_string dist) k domains cache guards
+          (Printf.sprintf
+             "%s, %d queries (%s), k=%d, domains=%d, cache=%d (%s), guards=%s, chaos=%s"
+             wl_label queries (Workload.dist_to_string dist) k domains cache
+             (Cr_engine.Engine.cache_mode_to_string cache_mode) guards
              (Cr_guard.Chaos.label chaos))
         [
           ("oracle", T.Left); ("bound", T.Right); ("queries/s", T.Right); ("p95 us", T.Right);
@@ -750,8 +784,8 @@ let oracle_cmd =
        ~doc:"Serve distance/path oracle queries through the guarded batch engine and referee the reported walks.")
     Term.(
       const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ queries_arg
-      $ dist_arg $ domains_arg $ cache_arg $ guards_arg $ chaos_arg $ budget_arg $ chaos_seed_arg
-      $ json_arg)
+      $ dist_arg $ domains_arg $ cache_arg $ cache_mode_arg $ guards_arg $ chaos_arg
+      $ budget_arg $ chaos_seed_arg $ json_arg)
 
 (* ---------- chaos ---------- *)
 
@@ -827,7 +861,9 @@ let chaos_cmd =
             string_of_int c.Sweep.timed_out; string_of_int c.Sweep.shed;
             string_of_int c.Sweep.breaker_open; string_of_int c.Sweep.worker_lost;
             string_of_int c.Sweep.retries; string_of_int c.Sweep.requeues;
-            Printf.sprintf "%.1f%%" (100.0 *. Sweep.served_ratio c);
+            (match Sweep.served_ratio c with
+            | Some r -> Printf.sprintf "%.1f%%" (100.0 *. r)
+            | None -> "-");
             (if c.Sweep.within_budget then "ok" else "OVER");
             Printf.sprintf "%.1f" (1e3 *. c.Sweep.wall_s);
           ])
@@ -910,9 +946,17 @@ let daemon_cmd =
          & info [ "crashpoint" ] ~docv:"SITE[:N]"
              ~doc:"Fault injection: SIGKILL self at the Nth hit (default 1st) of SITE — pre-flush, post-flush-pre-ack or mid-snapshot. For crash-recovery testing.")
   in
+  let cache_arg =
+    Arg.(value & opt int 0
+         & info [ "cache" ] ~docv:"C"
+             ~doc:"Shared answer-cache capacity in entries (0 disables). Generation-aged by epoch id: every repair invalidates in O(1), so answers never cross epochs.")
+  in
   let run seed k workload graph_file aspect guards chaos budget chaos_seed staleness journal
-      replay events fsync snapshots snapshot_every recover crashpoint =
+      replay events fsync snapshots snapshot_every recover crashpoint cache =
     install_signal_handlers ();
+    if cache < 0 then (
+      Printf.eprintf "crt: --cache must be >= 0\n";
+      exit 1);
     at_exit Pool.shutdown_shared;
     let policy =
       match Cr_guard.Policy.preset_of_string ~batch_budget_s:budget guards with
@@ -990,7 +1034,7 @@ let daemon_cmd =
     let d =
       try
         Daemon.create ~policy ~chaos ~staleness_every:staleness ~fsync ?journal ?snapshot_dir
-          ~snapshot_every ~recover:(recover <> None) ?events
+          ~snapshot_every ~recover:(recover <> None) ?events ~cache
           ~params:(Params.scaled ~k ~seed ()) g
       with Invalid_argument msg ->
         Printf.eprintf "crt: %s\n" msg;
@@ -1016,7 +1060,7 @@ let daemon_cmd =
       const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ guards_arg
       $ chaos_arg $ budget_arg $ chaos_seed_arg $ staleness_arg $ journal_arg $ replay_arg
       $ events_arg $ fsync_arg $ snapshots_arg $ snapshot_every_arg $ recover_arg
-      $ crashpoint_arg)
+      $ crashpoint_arg $ cache_arg)
 
 (* ---------- trace ---------- *)
 

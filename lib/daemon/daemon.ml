@@ -6,6 +6,7 @@ module Guard = Cr_guard
 module Jsonl = Cr_util.Jsonl
 module Stats = Cr_util.Stats
 module Counters = Cr_obs.Counters
+module Ttcache = Cr_util.Ttcache
 open Compact_routing
 
 (* The daemon serves every query from an immutable last-good [epoch]
@@ -47,6 +48,15 @@ type recovery = {
   recovery_s : float;  (* wall time to a serving epoch *)
 }
 
+type answer = {
+  delivered : bool;
+  cost : float;
+  hops : int;
+  stretch : float;
+  walk : int list;
+  dist : float;
+}
+
 type t = {
   cfg : config;
   counters : Counters.t;
@@ -72,6 +82,15 @@ type t = {
   mutable last_snapshot : (int * float) option;  (* epoch id, wall clock *)
   recovered : recovery option;
   mutable events : Jsonl.Writer.t option;
+  (* shared answer caches, generation = serving epoch id: an epoch swap
+     invalidates both in O(1) (old-epoch entries simply never match
+     again), so post-sync answers can never be served from a stale
+     epoch.  [route]/[dist] answers are keyed by the directed pair;
+     [path] answers by the canonical (min, max) pair, reversed on the
+     way out (Path_oracle.path's own canonicalization makes that
+     byte-identical to computing the asked direction). *)
+  acache : answer Ttcache.t option;
+  pcache : Cr_oracle.Path_oracle.answer option Ttcache.t option;
 }
 
 let est_alpha = 0.2
@@ -295,8 +314,10 @@ let recover_state ~base ~journal_path ~snapshot_dir =
 
 let create ?(policy = Guard.Policy.serving) ?(chaos = Guard.Chaos.none) ?(staleness_every = 32)
     ?(fsync = Journal.Every) ?journal ?snapshot_dir ?(snapshot_every = 64) ?(recover = false)
-    ?(restart_backoff = Guard.Backoff.repair) ?events ?repair_hook ?counters ~params graph =
+    ?(restart_backoff = Guard.Backoff.repair) ?events ?repair_hook ?counters ?(cache = 0)
+    ~params graph =
   if staleness_every < 0 then invalid_arg "Daemon.create: staleness_every must be >= 0";
+  if cache < 0 then invalid_arg "Daemon.create: cache must be >= 0";
   if snapshot_every < 0 then invalid_arg "Daemon.create: snapshot_every must be >= 0";
   if snapshot_dir <> None && journal = None then
     invalid_arg "Daemon.create: snapshots need a journal (the checkpoint records its offset)";
@@ -347,6 +368,12 @@ let create ?(policy = Guard.Policy.serving) ?(chaos = Guard.Chaos.none) ?(stalen
       last_snapshot = None;
       recovered;
       events;
+      acache =
+        (if cache = 0 then None
+         else Some (Ttcache.create ~salt:(Graph.hash live) ~capacity:cache ()));
+      pcache =
+        (if cache = 0 then None
+         else Some (Ttcache.create ~salt:(Graph.hash live + 1) ~capacity:cache ()));
     }
   in
   Counters.set counters "daemon.epoch" 0;
@@ -447,15 +474,6 @@ let sync t =
   r
 
 (* ---- query path ------------------------------------------------------- *)
-
-type answer = {
-  delivered : bool;
-  cost : float;
-  hops : int;
-  stretch : float;
-  walk : int list;
-  dist : float;
-}
 
 let measure_on ep u v =
   (* Churn can disconnect the serving graph, and the scheme's tree
@@ -564,6 +582,43 @@ let snapshot t =
   Mutex.unlock t.lock;
   (ep, bl)
 
+let cached_measure t ep u v =
+  match t.acache with
+  | None -> measure_on ep u v
+  | Some tt -> (
+      let key = (u * Graph.n ep.graph) + v in
+      match Ttcache.find tt ~gen:ep.id ~key with
+      | Some ans -> ans
+      | None ->
+          let ans = measure_on ep u v in
+          Ttcache.add tt ~gen:ep.id ~key ans;
+          ans)
+
+let cached_path t ep u v =
+  match t.pcache with
+  | None -> Cr_oracle.Path_oracle.path ep.oracle u v
+  | Some tt ->
+      let cu, cv = (min u v, max u v) in
+      let key = (cu * Graph.n ep.graph) + cv in
+      let a =
+        match Ttcache.find tt ~gen:ep.id ~key with
+        | Some a -> a
+        | None ->
+            let a = Cr_oracle.Path_oracle.path ep.oracle cu cv in
+            Ttcache.add tt ~gen:ep.id ~key a;
+            a
+      in
+      if u = cu then a
+      else
+        (* Path_oracle.path derives the (v, u) walk as the reverse of
+           the canonical (min, max) walk, with est/via/levels computed
+           on the canonical pair — so this reversal reproduces the
+           direct answer byte-for-byte *)
+        Option.map
+          (fun (ans : Cr_oracle.Path_oracle.answer) ->
+            { ans with Cr_oracle.Path_oracle.walk = List.rev ans.Cr_oracle.Path_oracle.walk })
+          a
+
 let handle_query t kind u v =
   Counters.incr t.counters "daemon.queries";
   let ep, bl = snapshot t in
@@ -575,7 +630,7 @@ let handle_query t kind u v =
     let verdict =
       match admit t ~backlog:bl with
       | Error r -> Error r
-      | Ok () -> run_query t (fun () -> measure_on ep u v)
+      | Ok () -> run_query t (fun () -> cached_measure t ep u v)
     in
     match verdict with
     | Error rej ->
@@ -605,7 +660,7 @@ let handle_path t u v =
     let verdict =
       match admit t ~backlog:bl with
       | Error r -> Error r
-      | Ok () -> run_query t (fun () -> Cr_oracle.Path_oracle.path ep.oracle u v)
+      | Ok () -> run_query t (fun () -> cached_path t ep u v)
     in
     match verdict with
     | Error rej ->
@@ -702,6 +757,10 @@ let percentiles xs =
       Array.sort compare a;
       (Stats.percentile a 0.5, Stats.percentile a 0.95, Stats.percentile a 0.99)
 
+let cache_sum t f =
+  let one = function None -> 0 | Some tt -> f (Ttcache.stats tt) in
+  one t.acache + one t.pcache
+
 let stats_json t =
   let ep, bl = snapshot t in
   Mutex.lock t.lock;
@@ -725,6 +784,16 @@ let stats_json t =
       ("dists", Jsonl.int (c "daemon.dists"));
       ("paths", Jsonl.int (c "daemon.paths"));
       ("oracle_entries", Jsonl.int (Cr_oracle.Path_oracle.size_entries ep.oracle));
+      ( "cache",
+        Jsonl.int (match t.acache with Some tt -> Ttcache.capacity tt | None -> 0) );
+      ("cache_hits", Jsonl.int (cache_sum t (fun s -> s.Ttcache.hits)));
+      ("cache_misses", Jsonl.int (cache_sum t (fun s -> s.Ttcache.misses)));
+      ("cache_aged", Jsonl.int (cache_sum t (fun s -> s.Ttcache.aged)));
+      ( "cache_hit_rate",
+        Jsonl.float
+          (Stats.ratio
+             (cache_sum t (fun s -> s.Ttcache.hits))
+             (cache_sum t (fun s -> s.Ttcache.hits) + cache_sum t (fun s -> s.Ttcache.misses))) );
       ("mutations", Jsonl.int (c "daemon.mutations"));
       ("mutations_rejected", Jsonl.int (c "daemon.mutations.rejected"));
       ("repairs", Jsonl.int (c "daemon.repairs"));

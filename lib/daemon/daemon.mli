@@ -58,6 +58,7 @@ val create :
   ?events:string ->
   ?repair_hook:(unit -> unit) ->
   ?counters:Cr_obs.Counters.t ->
+  ?cache:int ->
   params:Compact_routing.Params.t ->
   Cr_graph.Graph.t ->
   t
@@ -88,9 +89,17 @@ val create :
     worker calls it after claiming a batch and before the epoch swap,
     so a test can prove queries are answered mid-repair (and, raising,
     that supervision restarts the worker).
-    @raise Invalid_argument on a negative [staleness_every] or
-    [snapshot_every], a [snapshot_dir] without [journal], or an
-    unnormalized graph. *)
+
+    [cache] (entries; default 0 = off) enables two shared lock-free
+    answer caches ({!Cr_util.Ttcache}) whose generation is the serving
+    epoch id: [route]/[dist] answers keyed by directed pair, [path]
+    answers keyed by canonical [(min, max)] pair and reversed on the
+    way out.  An epoch swap invalidates both in O(1) — old-generation
+    entries never match — so answers after [sync] are byte-identical
+    with the cache on or off.
+    @raise Invalid_argument on a negative [staleness_every],
+    [snapshot_every] or [cache], a [snapshot_dir] without [journal], or
+    an unnormalized graph. *)
 
 val recovery : t -> recovery option
 (** [Some _] iff this daemon was created with [~recover:true]. *)

@@ -28,8 +28,12 @@ type cell = {
   within_budget : bool; (* wall_s <= batch budget (with 25% slack), or no budget *)
 }
 
+(* A cell that ran zero queries has no delivery rate — reporting 1.0
+   would render an empty cell as perfect delivery.  [None] becomes a
+   JSON null / an ASCII "-"; the cell's [queries = 0] field is the
+   explicit emptiness marker. *)
 let served_ratio c =
-  if c.queries = 0 then 1.0 else float_of_int c.ok /. float_of_int c.queries
+  if c.queries = 0 then None else Some (Cr_util.Stats.ratio c.ok c.queries)
 
 let cell_of_report ~within_budget (r : Serve.report) =
   {
@@ -105,7 +109,7 @@ let cell_to_json c =
       ("lost_lanes", Jsonl.int c.lost_lanes);
       ("stalls", Jsonl.int c.stalls);
       ("delivered", Jsonl.int c.delivered);
-      ("served_ratio", Jsonl.float (served_ratio c));
+      ("served_ratio", match served_ratio c with Some r -> Jsonl.float r | None -> "null");
       ("stretch_p99", Jsonl.float c.stretch_p99);
       ("within_budget", Jsonl.bool c.within_budget);
     ]

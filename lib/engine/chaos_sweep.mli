@@ -33,8 +33,10 @@ type cell = {
           in flight at expiry); [true] when the cell has no budget *)
 }
 
-val served_ratio : cell -> float
-(** [ok / queries]; 1 for an empty cell. *)
+val served_ratio : cell -> float option
+(** [ok / queries]; [None] for a cell that ran zero queries (rendered
+    as JSON null / an ASCII "-" — an empty cell is not perfect
+    delivery).  [cell.queries = 0] marks the emptiness explicitly. *)
 
 val run_cell :
   ?cache:int ->

@@ -34,16 +34,33 @@
 
 module Pool = Cr_util.Domain_pool
 module Stats = Cr_util.Stats
+module Ttcache = Cr_util.Ttcache
 module Graph = Cr_graph.Graph
 module Apsp = Cr_graph.Apsp
 module Sim = Compact_routing.Simulator
 module Scheme = Compact_routing.Scheme
 module Guard = Cr_guard
 
+(* Where memoized results live: nowhere, in one LRU per shard (single
+   executor per batch, no locking), or in one lock-free table shared by
+   every lane (Ttcache) — a hot key then misses once per process, not
+   once per lane, which is the whole point of sharing. *)
+type cache_mode = Off | Lane | Shared
+
+let cache_mode_to_string = function Off -> "off" | Lane -> "lane" | Shared -> "shared"
+
+let cache_mode_of_string = function
+  | "off" -> Ok Off
+  | "lane" -> Ok Lane
+  | "shared" -> Ok Shared
+  | s -> Error (Printf.sprintf "unknown cache mode %S (try off, lane or shared)" s)
+
 type 'r t = {
   pool : Pool.t;
   cache_capacity : int;
-  caches : 'r Lru.t array; (* one per shard; [||] when disabled *)
+  mode : cache_mode;
+  caches : 'r Lru.t array; (* one per shard; [||] unless mode = Lane *)
+  shared : 'r Ttcache.t option; (* one per engine; [None] unless mode = Shared *)
   policy : Guard.Policy.t;
   breakers : Guard.Breaker.t array; (* one per shard; [||] when disabled *)
   est_cost : float array; (* per-shard EWMA query cost, 0.0 = unknown *)
@@ -89,12 +106,22 @@ let no_guard_stats =
     stalls = 0;
   }
 
-let create ?(cache = 0) ?(policy = Guard.Policy.off) ?counters ?pool () =
+let create ?(cache = 0) ?cache_mode ?salt ?(policy = Guard.Policy.off) ?counters ?pool () =
   if cache < 0 then invalid_arg "Engine.create: negative cache capacity";
+  let mode =
+    match cache_mode with
+    | Some Shared when cache = 0 ->
+        invalid_arg "Engine.create: shared cache mode needs a capacity > 0"
+    | Some m -> if cache = 0 then Off else m
+    | None -> if cache = 0 then Off else Lane
+  in
   let pool = match pool with Some p -> p | None -> Pool.shared () in
   let lanes = Pool.domains pool in
   let caches =
-    if cache = 0 then [||] else Array.init lanes (fun _ -> Lru.create ~capacity:cache)
+    if mode <> Lane then [||] else Array.init lanes (fun _ -> Lru.create ~capacity:cache)
+  in
+  let shared =
+    if mode <> Shared then None else Some (Ttcache.create ?salt ~capacity:cache ())
   in
   let breakers =
     match policy.Guard.Policy.breaker with
@@ -103,8 +130,10 @@ let create ?(cache = 0) ?(policy = Guard.Policy.off) ?counters ?pool () =
   in
   {
     pool;
-    cache_capacity = cache;
+    cache_capacity = (if mode = Off then 0 else cache);
+    mode;
     caches;
+    shared;
     policy;
     breakers;
     est_cost = Array.make lanes 0.0;
@@ -115,6 +144,11 @@ let create ?(cache = 0) ?(policy = Guard.Policy.off) ?counters ?pool () =
 
 let pool t = t.pool
 let cache_capacity t = t.cache_capacity
+let cache_mode t = t.mode
+
+let shared_stats t =
+  match t.shared with None -> Ttcache.no_stats | Some tt -> Ttcache.stats tt
+
 let policy t = t.policy
 let served t = t.served
 let busy_seconds t = t.busy_s
@@ -123,7 +157,14 @@ let breaker_state t ~shard =
   if Array.length t.breakers = 0 then None else Some (Guard.Breaker.state t.breakers.(shard))
 
 let cache_stats t =
-  Array.fold_left (fun (h, m) c -> (h + Lru.hits c, m + Lru.misses c)) (0, 0) t.caches
+  let h, m =
+    Array.fold_left (fun (h, m) c -> (h + Lru.hits c, m + Lru.misses c)) (0, 0) t.caches
+  in
+  match t.shared with
+  | None -> (h, m)
+  | Some tt ->
+      let s = Ttcache.stats tt in
+      (h + s.Ttcache.hits, m + s.Ttcache.misses)
 
 let slice ~lanes ~nq lane = (lane * nq / lanes, (lane + 1) * nq / lanes)
 
@@ -139,9 +180,17 @@ let est_alpha = 0.2
    engine: no deadline/shed/breaker/retry branches are even consulted,
    preserving the original hot loop exactly.  [guarded = true] wraps
    each query in the guard chain; with Policy.off and Chaos.none every
-   branch is a no-op and the measure/cache operations are identical. *)
-let run_core (type r) (t : r t) ~guarded ~chaos ~n ~(placeholder : r) ~delivered ~measure pairs
-    =
+   branch is a no-op and the measure/cache operations are identical.
+
+   [canon]/[orient] factor a query through a canonical representative:
+   every query — hit, miss, or cache off — computes
+   [orient ~src ~dst (measure (canon src dst))], so two queries with the
+   same canonical pair share one cache entry (and one computation),
+   while the result stays a pure function of the original (src, dst) in
+   every cache mode.  The defaults are the identity, preserving the
+   directional routing surface exactly. *)
+let run_core (type r) (t : r t) ~guarded ~chaos ~n ~(placeholder : r) ~delivered ~canon
+    ~orient ~measure pairs =
   let nq = Array.length pairs in
   let lanes = Pool.domains t.pool in
   let out = Array.make (max nq 1) (Ok placeholder) in
@@ -149,6 +198,7 @@ let run_core (type r) (t : r t) ~guarded ~chaos ~n ~(placeholder : r) ~delivered
   let retries_total = Atomic.make 0 in
   let qstalls_total = Atomic.make 0 in
   let hits0, misses0 = cache_stats t in
+  let shared0 = shared_stats t in
   let policy = t.policy in
   let batch_dl = Guard.Deadline.start ?budget_s:policy.Guard.Policy.batch_budget_s () in
   let t0 = Unix.gettimeofday () in
@@ -162,10 +212,10 @@ let run_core (type r) (t : r t) ~guarded ~chaos ~n ~(placeholder : r) ~delivered
           let breaker =
             if Array.length t.breakers = 0 then None else Some t.breakers.(shard)
           in
-          let measure s d =
-            match cache with
-            | None -> measure s d
-            | Some c -> (
+          let lookup s d =
+            match (cache, t.shared) with
+            | None, None -> measure s d
+            | Some c, _ -> (
                 let key = (s * n) + d in
                 match Lru.find c key with
                 | Some m -> m
@@ -173,6 +223,20 @@ let run_core (type r) (t : r t) ~guarded ~chaos ~n ~(placeholder : r) ~delivered
                     let m = measure s d in
                     Lru.add c key m;
                     m)
+            | None, Some tt -> (
+                let key = (s * n) + d in
+                (* engines serve one immutable build, so the generation
+                   is constant; epoch-style aging is the daemon's use *)
+                match Ttcache.find tt ~gen:0 ~key with
+                | Some m -> m
+                | None ->
+                    let m = measure s d in
+                    Ttcache.add tt ~gen:0 ~key m;
+                    m)
+          in
+          let measure s d =
+            let cs, cd = canon s d in
+            orient ~src:s ~dst:d (lookup cs cd)
           in
           for q = lo to hi - 1 do
             let s, d = pairs.(q) in
@@ -274,6 +338,16 @@ let run_core (type r) (t : r t) ~guarded ~chaos ~n ~(placeholder : r) ~delivered
       Cr_obs.Counters.add c "engine.delivered" !delivered_n;
       Cr_obs.Counters.add c "engine.cache_hits" (hits1 - hits0);
       Cr_obs.Counters.add c "engine.cache_misses" (misses1 - misses0);
+      (match t.shared with
+      | None -> ()
+      | Some tt ->
+          let s1 = Ttcache.stats tt in
+          Cr_obs.Counters.add c "engine.shared_hits" (s1.Ttcache.hits - shared0.Ttcache.hits);
+          Cr_obs.Counters.add c "engine.shared_misses"
+            (s1.Ttcache.misses - shared0.Ttcache.misses);
+          Cr_obs.Counters.add c "engine.shared_replaced"
+            (s1.Ttcache.replaced - shared0.Ttcache.replaced);
+          Cr_obs.Counters.add c "engine.shared_aged" (s1.Ttcache.aged - shared0.Ttcache.aged));
       if guarded then begin
         Cr_obs.Counters.add c "guard.timeouts" gstats.timed_out;
         Cr_obs.Counters.add c "guard.sheds" gstats.shed;
@@ -297,9 +371,12 @@ let run_core (type r) (t : r t) ~guarded ~chaos ~n ~(placeholder : r) ~delivered
   in
   ((if nq = 0 then [||] else Array.sub out 0 nq), metrics, gstats)
 
-let run_custom ?(guarded = false) ?(chaos = Guard.Chaos.none) ?(delivered = fun _ -> true) t
-    ~n ~placeholder ~measure pairs =
-  run_core t ~guarded ~chaos ~n ~placeholder ~delivered ~measure pairs
+let id_canon s d = (s, d)
+let id_orient ~src:_ ~dst:_ r = r
+
+let run_custom ?(guarded = false) ?(chaos = Guard.Chaos.none) ?(delivered = fun _ -> true)
+    ?(canon = id_canon) ?(orient = id_orient) t ~n ~placeholder ~measure pairs =
+  run_core t ~guarded ~chaos ~n ~placeholder ~delivered ~canon ~orient ~measure pairs
 
 let route_placeholder =
   { Sim.src = 0; dst = 0; delivered = false; cost = 0.0; hops = 0; stretch = infinity }
@@ -308,6 +385,7 @@ let run_route_core t ~guarded ~chaos apsp scheme pairs =
   let n = Graph.n (Apsp.graph apsp) in
   run_core t ~guarded ~chaos ~n ~placeholder:route_placeholder
     ~delivered:(fun m -> m.Sim.delivered)
+    ~canon:id_canon ~orient:id_orient
     ~measure:(fun s d -> Sim.measure apsp scheme s d)
     pairs
 

@@ -38,7 +38,23 @@
 
 type 'r t
 (** An engine serving queries whose per-query result type is ['r] (the
-    per-shard caches hold ['r] values). *)
+    caches hold ['r] values). *)
+
+type cache_mode =
+  | Off  (** no memoization *)
+  | Lane
+      (** one LRU per shard — single executor per batch, no locking,
+          but hot entries are duplicated and re-missed once per lane *)
+  | Shared
+      (** one lock-free {!Cr_util.Ttcache} shared by every lane: a hot
+          key misses once per engine, not once per lane.  Results are
+          bit-identical across all three modes (the table only returns
+          exact key/generation matches of pure per-query values). *)
+
+val cache_mode_to_string : cache_mode -> string
+
+val cache_mode_of_string : string -> (cache_mode, string) result
+(** Parses ["off" | "lane" | "shared"] (the [--cache-mode] flag). *)
 
 type metrics = {
   queries : int;
@@ -73,14 +89,22 @@ val no_guard_stats : guard_stats
 
 val create :
   ?cache:int ->
+  ?cache_mode:cache_mode ->
+  ?salt:int ->
   ?policy:Cr_guard.Policy.t ->
   ?counters:Cr_obs.Counters.t ->
   ?pool:Cr_util.Domain_pool.t ->
   unit ->
   'r t
 (** [create ()] runs on the shared pool with the cache disabled and
-    every guard off.  [cache] is the per-shard LRU capacity in entries
-    ([0] disables; negative raises [Invalid_argument]).  [policy]
+    every guard off.  [cache] is the cache capacity in entries — per
+    shard under [Lane], total under [Shared] ([0] disables; negative
+    raises [Invalid_argument]).  [cache_mode] defaults to [Lane] when
+    [cache > 0] and [Off] otherwise, preserving the historical
+    behavior; [Shared] with [cache = 0] raises [Invalid_argument].
+    [salt] (e.g. {!Cr_graph.Graph.hash} of the served graph) perturbs
+    the shared table's fingerprints so equal keys of different builds
+    spread differently.  [policy]
     configures the guard stack for {!run_guarded}/{!run_custom}; breaker
     state and per-shard cost estimates persist across batches of the
     same engine, like the caches.  With [counters], every batch bumps
@@ -92,6 +116,12 @@ val pool : 'r t -> Cr_util.Domain_pool.t
 
 val cache_capacity : 'r t -> int
 
+val cache_mode : 'r t -> cache_mode
+
+val shared_stats : 'r t -> Cr_util.Ttcache.stats
+(** Lifetime hit/miss/replace/age counters of the shared table;
+    {!Cr_util.Ttcache.no_stats} in the other modes. *)
+
 val policy : 'r t -> Cr_guard.Policy.t
 
 val breaker_state : 'r t -> shard:int -> Cr_guard.Breaker.state option
@@ -101,6 +131,8 @@ val run_custom :
   ?guarded:bool ->
   ?chaos:Cr_guard.Chaos.t ->
   ?delivered:('r -> bool) ->
+  ?canon:(int -> int -> int * int) ->
+  ?orient:(src:int -> dst:int -> 'r -> 'r) ->
   'r t ->
   n:int ->
   placeholder:'r ->
@@ -108,9 +140,18 @@ val run_custom :
   (int * int) array ->
   ('r, Cr_guard.Rejection.t) result array * metrics * guard_stats
 (** The generic serving core: shard [pairs], answer each [(s, d)] with
-    [measure s d] through the per-shard cache (keys [(s * n) + d], so
-    [n] must exceed every node id), under the guard chain when
-    [guarded] (default false — every outcome is then [Ok]).
+    [orient ~src:s ~dst:d (measure (canon s d))] through the configured
+    cache (keys [(cs * n) + cd] over the canonical pair, so [n] must
+    exceed every node id), under the guard chain when [guarded]
+    (default false — every outcome is then [Ok]).
+
+    [canon]/[orient] (both default to the identity) let symmetric
+    surfaces share one cache entry per unordered pair: the oracle layer
+    passes [canon = (min, max)] and an [orient] that relabels the
+    answer's endpoints.  They are applied on {e every} query — hit,
+    miss, and cache off — so the result array is the same pure function
+    of [pairs] in every cache mode.
+
     [placeholder] seeds the result array and is never returned;
     [delivered] classifies results for the [engine.delivered] counter
     (default: everything).  Same determinism contract as
@@ -159,4 +200,5 @@ val busy_seconds : 'r t -> float
 (** Lifetime wall seconds spent inside batches. *)
 
 val cache_stats : 'r t -> int * int
-(** Lifetime [(hits, misses)] summed over the per-shard caches. *)
+(** Lifetime [(hits, misses)] summed over whichever cache structure is
+    active (per-shard LRUs, or the shared table). *)

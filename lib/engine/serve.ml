@@ -29,6 +29,7 @@ type report = {
   queries : int;
   domains : int;
   cache_capacity : int;
+  cache_mode : string; (* off | lane | shared *)
   guard_label : string; (* "off" when no guard is active *)
   chaos_label : string; (* Chaos plan label, "none" by default *)
   wall_s : float;
@@ -40,18 +41,17 @@ type report = {
   delivered : int; (* delivered among the ok outcomes *)
   stretch_mean : float;
   stretch_p99 : float;
+  shared : Cr_util.Ttcache.stats; (* all-zero unless cache_mode = shared *)
   counters : (string * int) list; (* engine.* / guard.* aggregates, sorted *)
 }
 
-let hit_rate r =
-  let total = r.cache_hits + r.cache_misses in
-  if total = 0 then 0.0 else float_of_int r.cache_hits /. float_of_int total
+let hit_rate r = Stats.ratio r.cache_hits (r.cache_hits + r.cache_misses)
 
 let rejected r =
   r.guards.Engine.timed_out + r.guards.Engine.shed + r.guards.Engine.breaker_open
   + r.guards.Engine.worker_lost
 
-let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ?(policy = Guard.Policy.off)
+let run ?(cache = 0) ?cache_mode ?(dist = Workload.Zipf 1.1) ?(policy = Guard.Policy.off)
     ?(chaos = Guard.Chaos.none) ?(guard_label = "") ~domains ~seed ~queries ~workload apsp
     scheme =
   let pool = Pool.create ~domains in
@@ -61,7 +61,10 @@ let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ?(policy = Guard.Policy.off)
       let n = Graph.n (Apsp.graph apsp) in
       let pairs = Workload.generate ~pool ~connected_in:apsp dist ~seed ~n ~count:queries in
       let counters = Cr_obs.Counters.create () in
-      let engine = Engine.create ~cache ~policy ~counters ~pool () in
+      let engine =
+        Engine.create ~cache ?cache_mode ~salt:(Graph.hash (Apsp.graph apsp)) ~policy
+          ~counters ~pool ()
+      in
       let outcomes, m, gstats = Engine.run_guarded ~chaos engine apsp scheme pairs in
       let served =
         (* routing quality is judged on the served queries only; the
@@ -78,7 +81,8 @@ let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ?(policy = Guard.Policy.off)
         dist = Workload.dist_to_string dist;
         queries = m.Engine.queries;
         domains = Pool.domains pool;
-        cache_capacity = cache;
+        cache_capacity = Engine.cache_capacity engine;
+        cache_mode = Engine.cache_mode_to_string (Engine.cache_mode engine);
         guard_label =
           (if guard_label <> "" then guard_label
            else if Guard.Policy.is_off policy then "off"
@@ -93,6 +97,7 @@ let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ?(policy = Guard.Policy.off)
         delivered = agg.Sim.delivered;
         stretch_mean = agg.Sim.stretch_stats.Stats.mean;
         stretch_p99 = agg.Sim.stretch_stats.Stats.p99;
+        shared = Engine.shared_stats engine;
         counters = Cr_obs.Counters.snapshot counters;
       })
 
@@ -105,6 +110,7 @@ let report_to_json r =
       ("queries", Jsonl.int r.queries);
       ("domains", Jsonl.int r.domains);
       ("cache", Jsonl.int r.cache_capacity);
+      ("cache_mode", Jsonl.str r.cache_mode);
       ("guards", Jsonl.str r.guard_label);
       ("chaos", Jsonl.str r.chaos_label);
       ("wall_s", Jsonl.float r.wall_s);
@@ -115,6 +121,10 @@ let report_to_json r =
       ("cache_hits", Jsonl.int r.cache_hits);
       ("cache_misses", Jsonl.int r.cache_misses);
       ("hit_rate", Jsonl.float (hit_rate r));
+      ("shared_hits", Jsonl.int r.shared.Cr_util.Ttcache.hits);
+      ("shared_misses", Jsonl.int r.shared.Cr_util.Ttcache.misses);
+      ("shared_replaced", Jsonl.int r.shared.Cr_util.Ttcache.replaced);
+      ("shared_aged", Jsonl.int r.shared.Cr_util.Ttcache.aged);
       ("ok", Jsonl.int r.guards.Engine.ok);
       ("timed_out", Jsonl.int r.guards.Engine.timed_out);
       ("shed", Jsonl.int r.guards.Engine.shed);

@@ -20,7 +20,8 @@ type report = {
   dist : string;
   queries : int;
   domains : int;
-  cache_capacity : int;  (** per-lane LRU entries; 0 = disabled *)
+  cache_capacity : int;  (** cache entries (per lane, or shared total); 0 = disabled *)
+  cache_mode : string;  (** ["off" | "lane" | "shared"] *)
   guard_label : string;  (** guard preset name; ["off"] when inactive *)
   chaos_label : string;  (** chaos plan label; ["none"] by default *)
   wall_s : float;
@@ -34,6 +35,9 @@ type report = {
   delivered : int;  (** delivered among the [ok] outcomes *)
   stretch_mean : float;  (** over served (ok) queries only *)
   stretch_p99 : float;
+  shared : Cr_util.Ttcache.stats;
+      (** shared-table hit/miss/replace/age counters; all-zero unless
+          [cache_mode = "shared"] *)
   counters : (string * int) list;
       (** the engine's [engine.*] (and, when guarded, [guard.*])
           aggregates for this run, sorted by name *)
@@ -48,6 +52,7 @@ val rejected : report -> int
 
 val run :
   ?cache:int ->
+  ?cache_mode:Engine.cache_mode ->
   ?dist:Workload.dist ->
   ?policy:Cr_guard.Policy.t ->
   ?chaos:Cr_guard.Chaos.t ->
@@ -63,8 +68,8 @@ val run :
     [Zipf 1.1]), serves them through the guarded engine on a fresh
     pool of [domains] lanes (shut down before returning, even on
     raise), and reports.  The query stream and the routing results
-    depend only on [(dist, seed, queries)] — never on [domains] or
-    [cache]; only the measured throughput/latency do.  [guard_label]
+    depend only on [(dist, seed, queries)] — never on [domains],
+    [cache] or [cache_mode]; only the measured throughput/latency do.  [guard_label]
     overrides the preset name recorded in the report (by default
     ["off"] or ["custom"] is derived from [policy]). *)
 

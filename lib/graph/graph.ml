@@ -5,14 +5,43 @@ type t = {
   names : int array;
 }
 
+(* Structural fingerprint sampling a bounded prefix of the adjacency
+   (at most 64 nodes, 8 edges each, stride-spread over the node range),
+   so it stays O(1) in the graph size yet separates graphs that merely
+   share (n, m): topology enters through the sampled neighbor indexes
+   and degrees, weights through their exact bit patterns.  Used both
+   for the physical-identity cache below and as the salt that keys
+   shared plan-cache fingerprints to a specific graph. *)
+let mix h x =
+  let x = (h lxor x) * 0x4be98134a5976fd3 in
+  let x = (x lxor (x lsr 29)) * 0x3bbf2a01358fb6d5 in
+  (x lxor (x lsr 32)) land max_int
+
+let hash g =
+  let node_samples = 64 and edge_samples = 8 in
+  let stride = max 1 ((g.n + node_samples - 1) / node_samples) in
+  let h = ref (mix g.n g.m) in
+  let u = ref 0 in
+  while !u < g.n do
+    let a = g.adj.(!u) in
+    h := mix !h (Array.length a);
+    for j = 0 to min (Array.length a) edge_samples - 1 do
+      let v, w = a.(j) in
+      h := mix !h v;
+      h := mix !h (Int64.to_int (Int64.bits_of_float w))
+    done;
+    u := !u + stride
+  done;
+  !h
+
 (* Cache of name->index tables, keyed by physical identity of the graph
-   (structural hashing only samples a bounded prefix, so this stays O(1)). *)
+   (the bounded-prefix structural hash keeps this O(1)). *)
 module Phys_tbl = Hashtbl.Make (struct
   type nonrec t = t
 
   let equal = ( == )
 
-  let hash g = Hashtbl.hash (g.n, g.m)
+  let hash = hash
 end)
 
 let name_index_cache : (int, int) Hashtbl.t Phys_tbl.t = Phys_tbl.create 16

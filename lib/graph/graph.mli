@@ -33,6 +33,14 @@ val n : t -> int
 
 val m : t -> int
 
+val hash : t -> int
+(** Structural fingerprint: folds [(n, m)] with a bounded prefix of the
+    adjacency (sampled nodes' degrees, neighbor indexes and exact
+    weight bits), so it is O(1) in the graph size but separates graphs
+    that merely share node/edge counts.  Deterministic for equal
+    structure; used to salt shared plan-cache fingerprints so cache
+    keys are tied to the graph they were computed on. *)
+
 val degree : t -> int -> int
 
 val max_degree : t -> int

@@ -34,7 +34,20 @@ let placeholder =
    can differ by association — hence the relative tolerance. *)
 let cost_tol = 1e-9
 
-let measure apsp oracle src dst =
+(* Answers are canonicalized: the measurement is computed on the
+   ordered pair (min, max) — matching Path_oracle.path's own internal
+   canonical direction — and only the endpoint labels are flipped back.
+   That makes measure (and with it every cached or uncached serving
+   mode) a function of the unordered pair up to relabeling: one shared
+   cache entry per pair, and bit-identical answers whichever direction
+   asked first.  Without it, re-pricing the reversed walk and reading
+   the transposed APSP entry could differ in final ulps at the 1e-9
+   referee tolerance. *)
+let canon s d = if s <= d then (s, d) else (d, s)
+
+let orient ~src ~dst m = if m.src = src then m else { m with src; dst }
+
+let measure_canonical apsp oracle src dst =
   let g = Apsp.graph apsp in
   let d = Apsp.distance apsp src dst in
   if src = dst then { src; dst; est = 0.0; dist = 0.0; ok = true; hops = 0; stretch = 1.0 }
@@ -59,12 +72,17 @@ let measure apsp oracle src dst =
           stretch = (if d > 0.0 && d < infinity then est /. d else infinity);
         }
 
+let measure apsp oracle src dst =
+  let cs, cd = canon src dst in
+  orient ~src ~dst (measure_canonical apsp oracle cs cd)
+
 let run_batch engine apsp oracle pairs =
   let n = Graph.n (Apsp.graph apsp) in
   let out, metrics, _ =
     Engine.run_custom engine ~n ~placeholder
       ~delivered:(fun m -> m.ok)
-      ~measure:(fun s d -> measure apsp oracle s d)
+      ~canon ~orient
+      ~measure:(fun s d -> measure_canonical apsp oracle s d)
       pairs
   in
   ( Array.map (function Ok m -> m | Error _ -> assert false (* unguarded is total *)) out,
@@ -74,7 +92,8 @@ let run_guarded ?(chaos = Guard.Chaos.none) engine apsp oracle pairs =
   let n = Graph.n (Apsp.graph apsp) in
   Engine.run_custom ~guarded:true ~chaos engine ~n ~placeholder
     ~delivered:(fun m -> m.ok)
-    ~measure:(fun s d -> measure apsp oracle s d)
+    ~canon ~orient
+    ~measure:(fun s d -> measure_canonical apsp oracle s d)
     pairs
 
 type report = {
@@ -84,6 +103,7 @@ type report = {
   queries : int;
   domains : int;
   cache_capacity : int;
+  cache_mode : string;
   guard_label : string;
   chaos_label : string;
   wall_s : float;
@@ -97,13 +117,12 @@ type report = {
   stretch_max : float;
   size_entries : int;
   storage_bits : int;
+  shared : Cr_util.Ttcache.stats; (* all-zero unless cache_mode = shared *)
 }
 
-let hit_rate r =
-  let total = r.cache_hits + r.cache_misses in
-  if total = 0 then 0.0 else float_of_int r.cache_hits /. float_of_int total
+let hit_rate r = Stats.ratio r.cache_hits (r.cache_hits + r.cache_misses)
 
-let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ?(policy = Guard.Policy.off)
+let run ?(cache = 0) ?cache_mode ?(dist = Workload.Zipf 1.1) ?(policy = Guard.Policy.off)
     ?(chaos = Guard.Chaos.none) ?(guard_label = "") ~domains ~seed ~queries ~workload apsp
     oracle =
   let pool = Pool.create ~domains in
@@ -112,7 +131,9 @@ let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ?(policy = Guard.Policy.off)
     (fun () ->
       let n = Graph.n (Apsp.graph apsp) in
       let pairs = Workload.generate ~pool ~connected_in:apsp dist ~seed ~n ~count:queries in
-      let engine = Engine.create ~cache ~policy ~pool () in
+      let engine =
+        Engine.create ~cache ?cache_mode ~salt:(Graph.hash (Apsp.graph apsp)) ~policy ~pool ()
+      in
       let outcomes, m, gstats = run_guarded ~chaos engine apsp oracle pairs in
       let served =
         Array.of_list
@@ -131,7 +152,8 @@ let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ?(policy = Guard.Policy.off)
         dist = Workload.dist_to_string dist;
         queries = m.Engine.queries;
         domains = Pool.domains pool;
-        cache_capacity = cache;
+        cache_capacity = Engine.cache_capacity engine;
+        cache_mode = Engine.cache_mode_to_string (Engine.cache_mode engine);
         guard_label =
           (if guard_label <> "" then guard_label
            else if Guard.Policy.is_off policy then "off"
@@ -148,6 +170,7 @@ let run ?(cache = 0) ?(dist = Workload.Zipf 1.1) ?(policy = Guard.Policy.off)
         stretch_max = s.Stats.max;
         size_entries = Path_oracle.size_entries oracle;
         storage_bits = Path_oracle.storage_bits oracle;
+        shared = Engine.shared_stats engine;
       })
 
 let report_to_json r =
@@ -160,6 +183,7 @@ let report_to_json r =
       ("queries", Jsonl.int r.queries);
       ("domains", Jsonl.int r.domains);
       ("cache", Jsonl.int r.cache_capacity);
+      ("cache_mode", Jsonl.str r.cache_mode);
       ("guards", Jsonl.str r.guard_label);
       ("chaos", Jsonl.str r.chaos_label);
       ("wall_s", Jsonl.float r.wall_s);
@@ -170,6 +194,10 @@ let report_to_json r =
       ("cache_hits", Jsonl.int r.cache_hits);
       ("cache_misses", Jsonl.int r.cache_misses);
       ("hit_rate", Jsonl.float (hit_rate r));
+      ("shared_hits", Jsonl.int r.shared.Cr_util.Ttcache.hits);
+      ("shared_misses", Jsonl.int r.shared.Cr_util.Ttcache.misses);
+      ("shared_replaced", Jsonl.int r.shared.Cr_util.Ttcache.replaced);
+      ("shared_aged", Jsonl.int r.shared.Cr_util.Ttcache.aged);
       ("served", Jsonl.int r.guards.Engine.ok);
       ("timed_out", Jsonl.int r.guards.Engine.timed_out);
       ("shed", Jsonl.int r.guards.Engine.shed);

@@ -23,7 +23,12 @@ type omeasured = {
 val measure : Cr_graph.Apsp.t -> Path_oracle.t -> int -> int -> omeasured
 (** One oracle query, answered and then refereed: the stitched walk is
     validated and priced independently by
-    [Compact_routing.Simulator.check_walk].  Pure in its arguments. *)
+    [Compact_routing.Simulator.check_walk].  Pure in its arguments, and
+    {e canonical}: the measurement is computed on the ordered pair
+    [(min src dst, max src dst)] and relabeled, so the answers for
+    [(u, v)] and [(v, u)] are the same record up to the [src]/[dst]
+    fields — which is what lets every serving mode share one cache
+    entry per unordered pair. *)
 
 val run_batch :
   omeasured Cr_engine.Engine.t ->
@@ -52,6 +57,7 @@ type report = {
   queries : int;
   domains : int;
   cache_capacity : int;
+  cache_mode : string;  (** ["off" | "lane" | "shared"] *)
   guard_label : string;
   chaos_label : string;
   wall_s : float;
@@ -65,12 +71,17 @@ type report = {
   stretch_max : float;
   size_entries : int;
   storage_bits : int;
+  shared : Cr_util.Ttcache.stats;
+      (** shared-table counters; all-zero unless [cache_mode = "shared"].
+          Oracle entries are keyed by canonical [(min, max)] pair, so
+          both directions of a pair hit one entry. *)
 }
 
 val hit_rate : report -> float
 
 val run :
   ?cache:int ->
+  ?cache_mode:Cr_engine.Engine.cache_mode ->
   ?dist:Cr_engine.Workload.dist ->
   ?policy:Cr_guard.Policy.t ->
   ?chaos:Cr_guard.Chaos.t ->
@@ -87,7 +98,7 @@ val run :
     [Zipf 1.1]), serves them guarded on a fresh pool of [domains] lanes
     (shut down before returning, even on raise), and reports.  The
     query stream and answers depend only on [(dist, seed, queries)] —
-    never on [domains] or [cache]. *)
+    never on [domains], [cache] or [cache_mode]. *)
 
 val report_to_json : report -> string
 (** One strict-JSON object (single line, no trailing newline). *)

@@ -13,6 +13,8 @@ type summary = {
 let empty_summary =
   { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p90 = 0.; p95 = 0.; p99 = 0. }
 
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
 let mean xs =
   let n = Array.length xs in
   if n = 0 then 0.0

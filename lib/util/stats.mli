@@ -16,6 +16,11 @@ type summary = {
 }
 (** Five-number-style summary of a sample. *)
 
+val ratio : int -> int -> float
+(** [ratio num den] is [num /. den], and [0.0] when [den = 0] — the one
+    zero-total-safe helper behind every hit-rate / delivery-rate field,
+    so the reports cannot drift in how they treat an empty total. *)
+
 val summarize : float array -> summary
 (** [summarize xs] computes the summary of a non-empty sample.
     @raise Invalid_argument on an empty array. *)

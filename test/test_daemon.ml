@@ -396,6 +396,50 @@ let test_repair_equivalence () =
     repair_equivalence_case seed
   done
 
+(* The shared answer cache must be invisible in the protocol output:
+   same churn script, same queries, byte-identical responses with the
+   cache on and off — including after a sync bumps the epoch, which is
+   the generation the cache ages by. *)
+let test_cached_answers_byte_identical () =
+  let rng = Rng.create 77 in
+  let g = mk_graph ~n:32 77 in
+  (* precompute one mutation script so every daemon sees identical input *)
+  let script =
+    let d = Daemon.create ~policy:Guard.Policy.off ~staleness_every:0 ~params g in
+    let ms =
+      List.init 5 (fun _ ->
+          let mu = random_mutation rng (Daemon.live_graph d) in
+          ignore (Daemon.handle d (Graph.mutation_to_string mu));
+          Graph.mutation_to_string mu)
+    in
+    Daemon.close d;
+    ms
+  in
+  let pairs = List.init 50 (fun _ -> (Rng.int rng 32, Rng.int rng 32)) in
+  let run cache =
+    let d = Daemon.create ~policy:Guard.Policy.off ~staleness_every:0 ~cache ~params g in
+    List.iter (fun m -> ignore (Daemon.handle d m)) script;
+    (match Daemon.sync d with Ok _ -> () | Error e -> Alcotest.failf "sync: %s" e);
+    let a = answers d pairs in
+    (* ask again: the second pass is all cache hits under the same epoch *)
+    let b = answers d pairs in
+    let sj = Daemon.stats_json d in
+    Daemon.close d;
+    (a, b, sj)
+  in
+  let a0, b0, s0 = run 0 in
+  let a1, b1, s1 = run 1024 in
+  checkb "uncached replay stable" true (a0 = b0);
+  checkb "cached replay byte-identical" true (a1 = b1);
+  List.iter2 (fun x y -> checks "cache on vs off" x y) a0 a1;
+  checkb "cache stats surface hits" true (contains s1 "\"cache_hits\":");
+  checkb "disabled cache reports zero capacity" true (contains s0 "\"cache\":0");
+  checkb "negative capacity rejected" true
+    (try
+       ignore (Daemon.create ~cache:(-1) ~staleness_every:0 ~params g);
+       false
+     with Invalid_argument _ -> true)
+
 (* dirty-set assessment stays consistent with what repair touches *)
 let test_dirty_assessment () =
   let g = mk_graph 23 in
@@ -798,6 +842,8 @@ let () =
       ( "repair",
         [
           Alcotest.test_case "incremental equals from-scratch" `Slow test_repair_equivalence;
+          Alcotest.test_case "cached answers byte-identical" `Quick
+            test_cached_answers_byte_identical;
           Alcotest.test_case "dirty assessment" `Quick test_dirty_assessment;
         ] );
       ( "durability",

@@ -459,6 +459,34 @@ let test_serve_deterministic_across_domains () =
     (Serve.hit_rate r4 >= 0.0 && Serve.hit_rate r4 <= 1.0);
   checkb "no cache, no counters" true (r1.Serve.cache_hits = 0 && r1.Serve.cache_misses = 0)
 
+let test_engine_shared_cache_mode () =
+  let apsp = prepared_graph 41 ~n:64 in
+  let sch = agm_scheme apsp in
+  let pairs =
+    Workload.generate ~connected_in:apsp (Workload.Zipf 1.1) ~seed:42 ~n:64 ~count:400
+  in
+  with_pool ~domains:2 (fun pool ->
+      let engine = Engine.create ~cache:1024 ~cache_mode:Engine.Shared ~pool () in
+      checkb "mode recorded" true (Engine.cache_mode engine = Engine.Shared);
+      let r1, _ = Engine.run_batch engine apsp sch pairs in
+      let r2, _ = Engine.run_batch engine apsp sch pairs in
+      checkb "replay identical through the shared table" true (r1 = r2);
+      let s = Engine.shared_stats engine in
+      checkb "replay hits the shared table" true (s.Cr_util.Ttcache.hits > 0);
+      let hits, misses = Engine.cache_stats engine in
+      checki "cache_stats reconciles with the table" (s.Cr_util.Ttcache.hits) hits;
+      checki "misses reconcile too" (s.Cr_util.Ttcache.misses) misses);
+  checkb "shared with no capacity rejected" true
+    (try
+       ignore (Engine.create ~cache:0 ~cache_mode:Engine.Shared () : unit Engine.t);
+       false
+     with Invalid_argument _ -> true);
+  checkb "mode parsing round-trips" true
+    (Engine.cache_mode_of_string "shared" = Ok Engine.Shared
+    && Engine.cache_mode_of_string "lane" = Ok Engine.Lane
+    && Engine.cache_mode_of_string "off" = Ok Engine.Off
+    && Result.is_error (Engine.cache_mode_of_string "bogus"))
+
 let test_serve_json_shape () =
   let apsp = prepared_graph 33 ~n:60 in
   let sch = Baseline_tz.build ~k:3 apsp in
@@ -475,8 +503,9 @@ let test_serve_json_shape () =
       in
       checkb (Printf.sprintf "field %s present" field) true found)
     [
-      "scheme"; "workload"; "dist"; "queries"; "domains"; "cache"; "routes_per_sec";
-      "latency_p50_us"; "latency_p95_us"; "latency_p99_us"; "hit_rate"; "delivered";
+      "scheme"; "workload"; "dist"; "queries"; "domains"; "cache"; "cache_mode";
+      "routes_per_sec"; "latency_p50_us"; "latency_p95_us"; "latency_p99_us"; "hit_rate";
+      "shared_hits"; "shared_misses"; "shared_replaced"; "shared_aged"; "delivered";
       "stretch_mean"; "stretch_p99";
     ]
 
@@ -501,6 +530,26 @@ let qcheck_tests =
             let engine = Engine.create ~cache:32 ~pool () in
             let results, _ = Engine.run_batch engine apsp sch pairs in
             results = reference));
+    QCheck.Test.make ~count:6 ~name:"results identical across pool widths x cache modes"
+      QCheck.(int_range 1 1000)
+      (fun seed ->
+        let apsp = prepared_graph ~n:48 seed in
+        let sch = agm_scheme apsp in
+        let pairs =
+          Workload.generate ~connected_in:apsp (Workload.Zipf 1.1) ~seed:(seed + 1) ~n:48
+            ~count:150
+        in
+        let reference = Simulator.measure_all apsp sch pairs in
+        List.for_all
+          (fun domains ->
+            with_pool ~domains (fun pool ->
+                List.for_all
+                  (fun (cache, mode) ->
+                    let engine = Engine.create ~cache ~cache_mode:mode ~pool () in
+                    let results, _ = Engine.run_batch engine apsp sch pairs in
+                    results = reference)
+                  [ (0, Engine.Off); (64, Engine.Lane); (64, Engine.Shared) ]))
+          [ 1; 2; 4 ]);
     QCheck.Test.make ~count:10 ~name:"workload generation is pool-invariant"
       QCheck.(pair (int_range 1 1000) (int_range 2 200))
       (fun (seed, n) ->
@@ -549,6 +598,7 @@ let () =
           Alcotest.test_case "cache hits on replay" `Quick test_engine_cache_hits_on_replay;
           Alcotest.test_case "empty batch + validation" `Quick test_engine_empty_and_validation;
           Alcotest.test_case "counters aggregate" `Quick test_engine_counters_aggregate;
+          Alcotest.test_case "shared cache mode" `Quick test_engine_shared_cache_mode;
         ] );
       ( "rewired_call_sites",
         [

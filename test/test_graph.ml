@@ -102,6 +102,22 @@ let test_graph_reweight_once_per_edge () =
   (* symmetric view *)
   checkf "symmetric" 2.0 (Option.get (Graph.edge_weight g' 1 0))
 
+let test_graph_hash_structural () =
+  let g1 = Graph.create ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ] in
+  let g2 = Graph.create ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 1.0) ] in
+  checki "equal structure, equal hash" (Graph.hash g1) (Graph.hash g2);
+  (* the regression this pins: the hash used to fold only (n, m), so
+     every same-size graph collided — weight and topology changes were
+     invisible to anything keyed on the hash *)
+  let g3 = Graph.create ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (2, 3, 5.0) ] in
+  checkb "same (n, m), changed weight: hash differs" true (Graph.hash g1 <> Graph.hash g3);
+  let g4 = Graph.create ~n:4 [ (0, 1, 1.0); (1, 2, 1.0); (1, 3, 1.0) ] in
+  checkb "same (n, m), changed topology: hash differs" true (Graph.hash g1 <> Graph.hash g4);
+  (* mutating one weight through reweight changes the hash too *)
+  let g5 = Graph.reweight g1 (fun u v w -> if u = 0 && v = 1 then w +. 1.0 else w) in
+  checkb "reweight changes the hash" true (Graph.hash g1 <> Graph.hash g5);
+  checkb "hash is non-negative" true (Graph.hash g1 >= 0)
+
 let test_graph_induced () =
   let g = fixture () in
   let sub, map = Graph.induced g [| 0; 1; 2 |] in
@@ -805,6 +821,7 @@ let () =
           Alcotest.test_case "normalize" `Quick test_graph_normalize;
           Alcotest.test_case "reweight once per edge" `Quick test_graph_reweight_once_per_edge;
           Alcotest.test_case "induced" `Quick test_graph_induced;
+          Alcotest.test_case "hash is structural" `Quick test_graph_hash_structural;
         ] );
       ( "heap",
         [

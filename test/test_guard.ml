@@ -636,6 +636,50 @@ let test_chaos_sweep_grid () =
       checki "clean corner serves all" 60 first.Chaos_sweep.ok
   | [] -> Alcotest.fail "empty sweep"
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* served_ratio semantics are pure data: build cells directly *)
+let mk_cell ~queries ~ok =
+  {
+    Chaos_sweep.chaos = "none";
+    guards = "off";
+    queries;
+    domains = 1;
+    wall_s = 0.0;
+    routes_per_sec = 0.0;
+    ok;
+    timed_out = 0;
+    shed = 0;
+    breaker_open = 0;
+    worker_lost = 0;
+    retries = 0;
+    requeues = 0;
+    lost_lanes = 0;
+    stalls = 0;
+    delivered = ok;
+    stretch_p99 = 0.0;
+    within_budget = true;
+  }
+
+let test_chaos_sweep_served_ratio_empty_cell () =
+  checkb "normal cell has a ratio" true
+    (Chaos_sweep.served_ratio (mk_cell ~queries:10 ~ok:7) = Some 0.7);
+  checkb "all-served cell is 1.0" true
+    (Chaos_sweep.served_ratio (mk_cell ~queries:10 ~ok:10) = Some 1.0);
+  (* the bug this pins: a zero-query cell used to report 1.0 — an empty
+     cell rendered as perfect delivery *)
+  checkb "zero-query cell has no ratio" true
+    (Chaos_sweep.served_ratio (mk_cell ~queries:0 ~ok:0) = None);
+  let j = Chaos_sweep.cell_to_json (mk_cell ~queries:0 ~ok:0) in
+  checkb "json null, not 1.0" true (contains j "\"served_ratio\":null");
+  checkb "queries=0 marks the emptiness" true (contains j "\"queries\":0");
+  match Jsonl.validate j with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "invalid empty-cell JSON: %s" msg
+
 (* ------------------------------------------------------------------ *)
 (* Backoff (restart supervision) *)
 
@@ -750,5 +794,7 @@ let () =
           Alcotest.test_case "report + json" `Quick test_serve_guarded_report;
           Alcotest.test_case "defaults are plain" `Quick test_serve_default_is_plain;
           Alcotest.test_case "chaos sweep grid" `Quick test_chaos_sweep_grid;
+          Alcotest.test_case "served_ratio of an empty cell" `Quick
+            test_chaos_sweep_served_ratio_empty_cell;
         ] );
     ]

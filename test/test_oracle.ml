@@ -267,6 +267,44 @@ let test_oserve_pool_and_cache_invariance () =
         (run ~domains ~cache = baseline))
     [ (1, 64); (2, 0); (4, 0); (4, 256) ]
 
+let test_oserve_measure_canonical_symmetry () =
+  let apsp = prepared_graph ~n:60 61 in
+  let oracle = Po.build ~k:3 ~seed:61 apsp in
+  let m = Oserve.measure apsp oracle 7 23 and m' = Oserve.measure apsp oracle 23 7 in
+  checkb "endpoints follow the query" true
+    (m.Oserve.src = 7 && m.Oserve.dst = 23 && m'.Oserve.src = 23 && m'.Oserve.dst = 7);
+  (* the canonical contract: the two directions are the same record up
+     to src/dst — which is what lets one cache entry serve both *)
+  checkb "same measurement up to relabeling" true
+    ({ m' with Oserve.src = m.Oserve.src; dst = m.Oserve.dst } = m)
+
+let test_oserve_shared_mode_invariance () =
+  let apsp = prepared_graph ~n:60 63 in
+  let oracle = Po.build ~k:3 ~seed:63 apsp in
+  let rng = Rng.create 64 in
+  let pairs = Simulator.sample_pairs rng apsp ~count:300 in
+  let run ~domains ~cache ~mode =
+    let pool = Pool.create ~domains in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        let eng = Engine.create ~cache ~cache_mode:mode ~pool () in
+        let results, _ = Oserve.run_batch eng apsp oracle pairs in
+        results)
+  in
+  let baseline = run ~domains:1 ~cache:0 ~mode:Engine.Off in
+  List.iter
+    (fun (domains, cache, mode) ->
+      checkb
+        (Printf.sprintf "domains=%d cache=%d %s bit-identical" domains cache
+           (Engine.cache_mode_to_string mode))
+        true
+        (run ~domains ~cache ~mode = baseline))
+    [
+      (2, 128, Engine.Lane); (2, 128, Engine.Shared); (4, 512, Engine.Shared);
+      (1, 512, Engine.Shared);
+    ]
+
 let test_oserve_guarded_off_matches_batch () =
   let apsp = prepared_graph ~n:50 59 in
   let oracle = Po.build ~k:3 ~seed:59 apsp in
@@ -309,6 +347,10 @@ let () =
           Alcotest.test_case "measure referees walks" `Quick test_oserve_measure;
           Alcotest.test_case "pool and cache invariance" `Quick
             test_oserve_pool_and_cache_invariance;
+          Alcotest.test_case "measure is canonical" `Quick
+            test_oserve_measure_canonical_symmetry;
+          Alcotest.test_case "shared-mode invariance" `Quick
+            test_oserve_shared_mode_invariance;
           Alcotest.test_case "guarded off matches batch" `Quick
             test_oserve_guarded_off_matches_batch;
         ] );

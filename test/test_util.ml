@@ -171,6 +171,96 @@ let test_stats_linear_fit () =
   checkf "slope" 2.0 a;
   checkf "intercept" 1.0 b
 
+let test_stats_ratio () =
+  checkf "plain" 0.5 (Stats.ratio 1 2);
+  checkf "zero numerator" 0.0 (Stats.ratio 0 7);
+  (* the zero-total case every hit-rate field hits on an empty batch *)
+  checkf "zero denominator" 0.0 (Stats.ratio 5 0)
+
+(* ------------------------------------------------------------------ *)
+(* Ttcache *)
+
+module Ttcache = Cr_util.Ttcache
+
+let test_ttcache_basics () =
+  let t = Ttcache.create ~capacity:100 () in
+  checki "capacity rounds up to a power of two" 128 (Ttcache.capacity t);
+  checkb "miss on empty" true (Ttcache.find t ~gen:0 ~key:7 = None);
+  Ttcache.add t ~gen:0 ~key:7 42;
+  checkb "hit returns the stored value" true (Ttcache.find t ~gen:0 ~key:7 = Some 42);
+  checkb "other key still misses" true (Ttcache.find t ~gen:0 ~key:8 = None);
+  let s = Ttcache.stats t in
+  checki "hits counted" 1 s.Ttcache.hits;
+  checki "misses counted" 2 s.Ttcache.misses;
+  checki "stats capacity" 128 s.Ttcache.capacity;
+  checkb "non-positive capacity rejected" true
+    (try
+       ignore (Ttcache.create ~capacity:0 () : unit Ttcache.t);
+       false
+     with Invalid_argument _ -> true)
+
+let test_ttcache_generation_invalidates () =
+  let t = Ttcache.create ~capacity:64 () in
+  Ttcache.add t ~gen:0 ~key:3 30;
+  checkb "hit in its own generation" true (Ttcache.find t ~gen:0 ~key:3 = Some 30);
+  (* bumping the generation is O(1) invalidation: no array touch, the
+     old entry just stops matching *)
+  checkb "stale generation misses" true (Ttcache.find t ~gen:1 ~key:3 = None);
+  Ttcache.add t ~gen:1 ~key:3 31;
+  checkb "fresh generation hit" true (Ttcache.find t ~gen:1 ~key:3 = Some 31);
+  checkb "old generation stays dead" true (Ttcache.find t ~gen:0 ~key:3 = None);
+  let s = Ttcache.stats t in
+  checkb "stale-slot reclaim counted as aged" true (s.Ttcache.aged >= 1)
+
+let test_ttcache_salt_spreads () =
+  (* same keys, different salts: both tables answer identically even
+     though their bucket layouts differ *)
+  let a = Ttcache.create ~salt:1 ~capacity:32 ()
+  and b = Ttcache.create ~salt:2 ~capacity:32 () in
+  for key = 0 to 19 do
+    Ttcache.add a ~gen:0 ~key (key * 11);
+    Ttcache.add b ~gen:0 ~key (key * 11)
+  done;
+  for key = 0 to 19 do
+    let va = Ttcache.find a ~gen:0 ~key and vb = Ttcache.find b ~gen:0 ~key in
+    checkb "same hit set semantics" true
+      (match (va, vb) with
+      | Some x, Some y -> x = key * 11 && y = key * 11
+      | Some x, None | None, Some x -> x = key * 11
+      | None, None -> true)
+  done
+
+(* N domains hammer one table with overlapping keys while marching
+   through generations.  Every stored value encodes its (key, gen), so
+   a single counter catches torn entries, cross-key mixups and
+   stale-generation hits alike: a reader probing generation g must get
+   exactly [value key g] or a miss, never anything else. *)
+let test_ttcache_concurrent_stress () =
+  let t = Ttcache.create ~capacity:256 () in
+  let value key gen = (key * 1_000_003) + (gen * 7919) in
+  let wrong = Atomic.make 0 in
+  let worker d () =
+    let rng = Rng.create (100 + d) in
+    for gen = 0 to 2 do
+      for _ = 1 to 5_000 do
+        let key = Rng.int rng 64 in
+        match Ttcache.find t ~gen ~key with
+        | Some v -> if v <> value key gen then Atomic.incr wrong
+        | None -> Ttcache.add t ~gen ~key (value key gen)
+      done
+    done
+  in
+  let ds = List.init 4 (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  checki "no torn, cross-key or cross-generation value" 0 (Atomic.get wrong);
+  (* monotone generation semantics: a bump past everything written
+     leaves nothing findable *)
+  for key = 0 to 63 do
+    checkb "post-bump miss" true (Ttcache.find t ~gen:99 ~key = None)
+  done;
+  let s = Ttcache.stats t in
+  checkb "contended table still served hits" true (s.Ttcache.hits > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Jsonl *)
 
@@ -596,6 +686,14 @@ let () =
           Alcotest.test_case "histogram" `Quick test_stats_histogram;
           Alcotest.test_case "cdf" `Quick test_stats_cdf;
           Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+          Alcotest.test_case "ratio" `Quick test_stats_ratio;
+        ] );
+      ( "ttcache",
+        [
+          Alcotest.test_case "basics" `Quick test_ttcache_basics;
+          Alcotest.test_case "generation invalidates" `Quick test_ttcache_generation_invalidates;
+          Alcotest.test_case "salt spreads" `Quick test_ttcache_salt_spreads;
+          Alcotest.test_case "concurrent stress" `Slow test_ttcache_concurrent_stress;
         ] );
       ( "jsonl",
         [
