@@ -1195,6 +1195,292 @@ let d1 () =
     snapshot_every !accepted
 
 (* ------------------------------------------------------------------ *)
+(* D2: multi-client socket churn — N concurrent clients over the unix
+   socket front end, one replaying mutations from a journal-style trace
+   while the rest query in a closed loop; response latency percentiles
+   overall and over time, repair latency, and the outcome/shed/timeout
+   counters, with and without deterministic netchaos *)
+
+let d2 () =
+  header "D2: multi-client socket churn — response latency under concurrency and netchaos";
+  let module Daemon = Cr_daemon.Daemon in
+  let module Server = Cr_daemon.Server in
+  let module Jsonl = Cr_util.Jsonl in
+  let n = scale 128 in
+  let clients = 4 in
+  let queries_per_client = scale 160 in
+  let mutations = scale 32 in
+  let g =
+    let g0 = Experiment.make_graph ~seed:181 (Experiment.Erdos_renyi { n; avg_degree = 4.0 }) in
+    let rng = Rng.create 182 in
+    Graph.reweight g0 (fun _ _ _ -> 1.0 +. float_of_int (Rng.int rng 7))
+  in
+  let params = Params.scaled ~k:3 ~seed:181 () in
+  (* the journal-style trace: mutations each applicable to the graph the
+     previous ones produce, replayed in order by client 0 *)
+  let trace =
+    let rng = Rng.create 183 in
+    let random_mutation g =
+      let es = Array.of_list (Graph.edges g) in
+      let w () = 1.0 +. float_of_int (Rng.int rng 7) in
+      match Rng.int rng 5 with
+      | 0 when Array.length es > 0 ->
+          let u, v, _ = es.(Rng.int rng (Array.length es)) in
+          Graph.Set_weight (u, v, w ())
+      | 1 when Array.length es > 1 ->
+          let u, v, _ = es.(Rng.int rng (Array.length es)) in
+          Graph.Link_down (u, v)
+      | 2 ->
+          let u = Rng.int rng n and v = Rng.int rng n in
+          if u <> v && not (Graph.has_edge g u v) then Graph.Link_up (u, v, w ())
+          else Graph.Node_up (Rng.int rng n)
+      | 3 -> Graph.Node_down (Rng.int rng n)
+      | _ -> Graph.Node_up (Rng.int rng n)
+    in
+    let rec go acc g k =
+      if k = 0 then List.rev acc
+      else
+        let mu = random_mutation g in
+        match Graph.apply g mu with
+        | g' -> go (Graph.mutation_to_string mu :: acc) g' (k - 1)
+        | exception Invalid_argument _ -> go acc g k
+    in
+    go [] g mutations
+  in
+  let dir = Filename.temp_file "crtd2" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> rm dir) @@ fun () ->
+  let sock = Filename.concat dir "d2.sock" in
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX sock);
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+    fd
+  in
+  let send fd s =
+    let len = String.length s in
+    let rec go off = if off < len then go (off + Unix.write_substring fd s off (len - off)) in
+    go 0
+  in
+  let recv_line fd =
+    let buf = Buffer.create 64 in
+    let b = Bytes.create 1 in
+    let rec go () =
+      match Unix.read fd b 0 1 with
+      | 0 -> Buffer.contents buf
+      | _ ->
+          if Bytes.get b 0 = '\n' then Buffer.contents buf
+          else begin
+            Buffer.add_char buf (Bytes.get b 0);
+            go ()
+          end
+    in
+    go ()
+  in
+  let cells =
+    [
+      ("none", Server.no_netchaos);
+      ( "net",
+        match Server.netchaos_of_string ~seed:184 "net" with
+        | Ok nc -> nc
+        | Error e -> failwith e );
+    ]
+  in
+  let results =
+    List.map
+      (fun (cell, nc) ->
+        let d =
+          Daemon.create ~policy:Cr_guard.Policy.off ~staleness_every:0 ~params g
+        in
+        let config = { Server.default_config with Server.nc } in
+        let srv = Server.create ~config d (Server.Unix_path sock) in
+        let dom = Domain.spawn (fun () -> Server.run srv) in
+        let t0 = Unix.gettimeofday () in
+        (* one closed-loop domain per client; client 0 interleaves the
+           mutation trace among its queries, the rest only query.  A
+           netchaos cut (EOF mid-response) is absorbed by reconnecting:
+           the slot stays occupied, as a real client pool would *)
+        let client cid =
+          let rng = Rng.create (185 + cid) in
+          let ops =
+            let queries =
+              List.init queries_per_client (fun _ ->
+                  Printf.sprintf
+                    (if Rng.bool rng then "route %d %d" else "dist %d %d")
+                    (Rng.int rng n) (Rng.int rng n))
+            in
+            if cid <> 0 then queries
+            else begin
+              (* splice one trace mutation after every few queries *)
+              let every = max 1 (queries_per_client / max 1 mutations) in
+              List.concat
+                (List.mapi
+                   (fun i q ->
+                     if i mod every = 0 && i / every < mutations then
+                       [ q; List.nth trace (i / every) ]
+                     else [ q ])
+                   queries)
+            end
+          in
+          let lats = ref [] in
+          let cuts = ref 0 in
+          let fd = ref (connect ()) in
+          let round_trip line =
+            match
+              send !fd (line ^ "\n");
+              recv_line !fd
+            with
+            | "" -> None
+            | r -> Some r
+            | exception Unix.Unix_error _ -> None
+          in
+          List.iter
+            (fun line ->
+              let rec go attempts =
+                if attempts > 0 then begin
+                  let t1 = Unix.gettimeofday () in
+                  match round_trip line with
+                  | Some _ ->
+                      let t2 = Unix.gettimeofday () in
+                      lats := (t2 -. t0, 1e3 *. (t2 -. t1)) :: !lats
+                  | None ->
+                      incr cuts;
+                      (try Unix.close !fd with Unix.Unix_error _ -> ());
+                      fd := connect ();
+                      go (attempts - 1)
+                end
+              in
+              go 3)
+            ops;
+          ignore (round_trip "quit");
+          (try Unix.close !fd with Unix.Unix_error _ -> ());
+          (List.rev !lats, !cuts)
+        in
+        let doms = List.init clients (fun cid -> Domain.spawn (fun () -> client cid)) in
+        let per_client = List.map Domain.join doms in
+        let wall_s = Unix.gettimeofday () -. t0 in
+        (* drain the repair backlog before reading repair percentiles:
+           a fast client run can finish before the first batch lands *)
+        (match Daemon.sync d with
+        | Ok _ -> ()
+        | Error e -> Printf.printf "repair poisoned during churn: %s\n" e);
+        Server.stop srv;
+        Domain.join dom;
+        let repair_ms =
+          let a = Array.of_list (List.map (fun s -> 1e3 *. s) (Daemon.repair_times_s d)) in
+          Array.sort compare a;
+          a
+        in
+        Daemon.close d;
+        let lats = List.concat_map fst per_client in
+        let cuts = List.fold_left (fun a (_, c) -> a + c) 0 per_client in
+        let all =
+          let a = Array.of_list (List.map snd lats) in
+          Array.sort compare a;
+          a
+        in
+        (* latency over time: the run split into quarters by completion
+           time, p95 within each — degradation under churn shows here *)
+        let quarter_p95 =
+          List.init 4 (fun q ->
+              let lo = wall_s *. float_of_int q /. 4.0
+              and hi = wall_s *. float_of_int (q + 1) /. 4.0 in
+              let xs =
+                List.filter_map
+                  (fun (at, ms) -> if at >= lo && at < hi then Some ms else None)
+                  lats
+              in
+              let a = Array.of_list xs in
+              Array.sort compare a;
+              if Array.length a = 0 then 0.0 else Stats.percentile a 0.95)
+        in
+        let st = Server.stats srv in
+        (cell, all, quarter_p95, repair_ms, st, cuts, wall_s))
+      cells
+  in
+  let pct a q = if Array.length a = 0 then 0.0 else Stats.percentile a q in
+  let table =
+    T.create
+      ~title:
+        (Printf.sprintf
+           "erdos-renyi n=%d, %d clients over unix socket, %d queries each + %d trace mutations"
+           n clients queries_per_client mutations)
+      [
+        ("netchaos", T.Left); ("ops", T.Right); ("p50 ms", T.Right); ("p95 ms", T.Right);
+        ("p99 ms", T.Right); ("q1-q4 p95 ms", T.Left); ("repair p95 ms", T.Right);
+        ("served", T.Right); ("shed", T.Right); ("timeout", T.Right); ("disc", T.Right);
+        ("cuts", T.Right);
+      ]
+  in
+  List.iter
+    (fun (cell, all, qp95, repair_ms, st, cuts, _) ->
+      T.add_row table
+        [
+          cell;
+          string_of_int (Array.length all);
+          Printf.sprintf "%.2f" (pct all 0.5);
+          Printf.sprintf "%.2f" (pct all 0.95);
+          Printf.sprintf "%.2f" (pct all 0.99);
+          String.concat "/" (List.map (Printf.sprintf "%.1f") qp95);
+          Printf.sprintf "%.1f" (pct repair_ms 0.95);
+          string_of_int st.Server.served;
+          string_of_int st.Server.shed;
+          string_of_int st.Server.timed_out;
+          string_of_int st.Server.disconnected;
+          string_of_int cuts;
+        ])
+    results;
+  T.print table;
+  (match Sys.getenv_opt "CRT_D2_JSON" with
+  | Some path ->
+      Jsonl.write_lines
+        (List.map
+           (fun (cell, all, qp95, repair_ms, st, cuts, wall_s) ->
+             Jsonl.obj
+               [
+                 ("experiment", Jsonl.str "D2");
+                 ("netchaos", Jsonl.str cell);
+                 ("n", Jsonl.int n);
+                 ("clients", Jsonl.int clients);
+                 ("ops", Jsonl.int (Array.length all));
+                 ("wall_s", Jsonl.float wall_s);
+                 ("response_ms_p50", Jsonl.float (pct all 0.5));
+                 ("response_ms_p95", Jsonl.float (pct all 0.95));
+                 ("response_ms_p99", Jsonl.float (pct all 0.99));
+                 ( "quarter_p95_ms",
+                   "[" ^ String.concat "," (List.map Jsonl.float qp95) ^ "]" );
+                 ("repair_ms_p50", Jsonl.float (pct repair_ms 0.5));
+                 ("repair_ms_p95", Jsonl.float (pct repair_ms 0.95));
+                 ("conns", Jsonl.int st.Server.conns_total);
+                 ("served", Jsonl.int st.Server.served);
+                 ("shed", Jsonl.int st.Server.shed);
+                 ("timed_out", Jsonl.int st.Server.timed_out);
+                 ("disconnected", Jsonl.int st.Server.disconnected);
+                 ("chaos_delays", Jsonl.int st.Server.chaos_delays);
+                 ("chaos_shorts", Jsonl.int st.Server.chaos_shorts);
+                 ("chaos_drops", Jsonl.int st.Server.chaos_drops);
+                 ("client_cuts", Jsonl.int cuts);
+               ])
+           results)
+        path;
+      Printf.printf "json written to %s\n" path
+  | None -> ());
+  Printf.printf
+    "expected: the socket front end serves %d closed-loop clients with per-op latency\n\
+     dominated by select-tick granularity; under netchaos, cut connections surface as\n\
+     disconnected outcomes and client reconnects, while every connection still ends in\n\
+     exactly one outcome and the daemon never crashes.\n"
+    clients
+
+(* ------------------------------------------------------------------ *)
 (* O1: path-reporting distance oracles — quality, size, speed vs k      *)
 
 let o1 () =
@@ -1340,7 +1626,7 @@ let experiments =
   [
     ("T1", t1); ("T1b", t1b); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5); ("T6", t6);
     ("T7", t7); ("T8", t8); ("T9", t9); ("F1", f1); ("F2", f2); ("F3", f3); ("A1", a1);
-    ("A2", a2); ("F4", f4); ("R1", r1); ("P1", p1); ("C1", c1); ("D1", d1); ("O1", o1);
+    ("A2", a2); ("F4", f4); ("R1", r1); ("P1", p1); ("C1", c1); ("D1", d1); ("D2", d2); ("O1", o1);
   ]
 
 let () =

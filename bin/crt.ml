@@ -951,9 +951,40 @@ let daemon_cmd =
          & info [ "cache" ] ~docv:"C"
              ~doc:"Shared answer-cache capacity in entries (0 disables). Generation-aged by epoch id: every repair invalidates in O(1), so answers never cross epochs.")
   in
+  let listen_arg =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Serve many concurrent clients over a socket instead of stdin/stdout: [HOST:]PORT (TCP, host defaults to 127.0.0.1) or unix:PATH. SIGTERM/SIGINT drain gracefully (stop accepting, flush in-flight responses up to --drain seconds) and exit 143/130.")
+  in
+  let netchaos_arg =
+    Arg.(value & opt string "none"
+         & info [ "netchaos" ] ~docv:"P"
+             ~doc:"Deterministic network fault injection on the socket transport: none, slow (delayed writes), torn (short writes), rude (mid-request disconnects) or net (all three). Decisions are pure in (connection id, request index) under --chaos-seed, so runs replay.")
+  in
+  let max_conns_arg =
+    Arg.(value & opt int 64
+         & info [ "max-conns" ] ~docv:"N"
+             ~doc:"Connection cap for --listen; clients beyond it are shed with a structured err busy.")
+  in
+  let max_line_arg =
+    Arg.(value & opt int 4096
+         & info [ "max-line" ] ~docv:"BYTES"
+             ~doc:"Request-line byte bound for --listen; longer lines get err line too long and the connection is closed.")
+  in
+  let idle_timeout_arg =
+    Arg.(value & opt float 30.0
+         & info [ "idle-timeout" ] ~docv:"S"
+             ~doc:"Per-connection idle/read deadline in seconds for --listen (0 disables).")
+  in
+  let drain_arg =
+    Arg.(value & opt float 5.0
+         & info [ "drain" ] ~docv:"S"
+             ~doc:"Drain deadline for --listen: how long SIGTERM waits for in-flight responses before force-closing stragglers.")
+  in
   let run seed k workload graph_file aspect guards chaos budget chaos_seed staleness journal
-      replay events fsync snapshots snapshot_every recover crashpoint cache =
-    install_signal_handlers ();
+      replay events fsync snapshots snapshot_every recover crashpoint cache listen netchaos
+      max_conns max_line idle_timeout drain =
+    if listen = None then install_signal_handlers ();
     if cache < 0 then (
       Printf.eprintf "crt: --cache must be >= 0\n";
       exit 1);
@@ -1050,17 +1081,83 @@ let daemon_cmd =
           r.Daemon.replayed r.Daemon.truncated_bytes (1e3 *. r.Daemon.recovery_s)
     | None -> ());
     flush stdout;
-    Daemon.serve_loop d stdin stdout;
-    Daemon.close d
+    match listen with
+    | None ->
+        Daemon.serve_loop d stdin stdout;
+        Daemon.close d
+    | Some addr_s ->
+        let module Server = Cr_daemon.Server in
+        let address =
+          match Server.addr_of_string addr_s with
+          | Ok a -> a
+          | Error msg ->
+              Printf.eprintf "crt: --listen: %s\n" msg;
+              exit 2
+        in
+        let nc =
+          match Server.netchaos_of_string ~seed:chaos_seed netchaos with
+          | Ok c -> c
+          | Error msg ->
+              Printf.eprintf "crt: --netchaos: %s\n" msg;
+              exit 2
+        in
+        let config =
+          { Server.default_config with
+            Server.max_conns; max_line; idle_timeout_s = idle_timeout; drain_s = drain; nc }
+        in
+        (* drain instead of exiting: the handler only flips a flag, the
+           event loop stops accepting, flushes in-flight responses up
+           to --drain seconds, and run returns; journal and JSONL
+           writers are then closed on the normal path.  Installed
+           *before* create — the listening socket is visible to
+           clients (and process managers) from the moment it binds, so
+           a SIGTERM in that window must already mean drain, not die. *)
+        let signaled = ref 0 in
+        let srv_ref = ref None in
+        let stop_early = ref false in
+        let drain_on signal code =
+          try
+            Sys.set_signal signal
+              (Sys.Signal_handle
+                 (fun _ ->
+                   signaled := code;
+                   match !srv_ref with
+                   | Some srv -> Server.stop srv
+                   | None -> stop_early := true))
+          with Invalid_argument _ | Sys_error _ -> ()
+        in
+        drain_on Sys.sigterm 143;
+        drain_on Sys.sigint 130;
+        let srv =
+          try Server.create ~config d address with
+          | Unix.Unix_error (err, _, arg) ->
+              Printf.eprintf "crt: --listen %s: %s%s\n" addr_s (Unix.error_message err)
+                (if arg = "" then "" else " (" ^ arg ^ ")");
+              exit 1
+          | Invalid_argument msg ->
+              Printf.eprintf "crt: %s\n" msg;
+              exit 2
+        in
+        srv_ref := Some srv;
+        if !stop_early then Server.stop srv;
+        Printf.printf "ok listening %s max-conns=%d idle-timeout=%gs netchaos=%s\n%!"
+          (Server.addr_to_string (Server.addr srv))
+          max_conns idle_timeout (Server.netchaos_label nc);
+        Server.run srv;
+        Daemon.close d;
+        Printf.printf "ok drained %s\n%!" (Server.stats_json srv);
+        Cr_util.Jsonl.flush_all_writers ();
+        if !signaled <> 0 then exit !signaled
   in
   Cmd.v
     (Cmd.info "daemon"
-       ~doc:"Persistent route daemon: stream route/dist queries and live mutations over stdin/stdout; repair is incremental and never blocks serving, the journal is checksummed and crash-recoverable.")
+       ~doc:"Persistent route daemon: stream route/dist queries and live mutations over stdin/stdout or, with --listen, a fault-tolerant multi-client socket; repair is incremental and never blocks serving, the journal is checksummed and crash-recoverable.")
     Term.(
       const run $ seed_arg $ k_arg $ workload_arg $ graph_file_arg $ aspect_arg $ guards_arg
       $ chaos_arg $ budget_arg $ chaos_seed_arg $ staleness_arg $ journal_arg $ replay_arg
       $ events_arg $ fsync_arg $ snapshots_arg $ snapshot_every_arg $ recover_arg
-      $ crashpoint_arg $ cache_arg)
+      $ crashpoint_arg $ cache_arg $ listen_arg $ netchaos_arg $ max_conns_arg $ max_line_arg
+      $ idle_timeout_arg $ drain_arg)
 
 (* ---------- trace ---------- *)
 

@@ -17,18 +17,21 @@ type site =
   | Pre_flush  (* journal record buffered, not yet flushed: the ack was never sent, the bytes may be lost *)
   | Post_flush_pre_ack  (* record durable per the fsync policy, ack not yet sent *)
   | Mid_snapshot  (* snapshot temp file fully written, rename pending *)
+  | Post_rename  (* snapshot renamed into place, directory entry not yet fsynced *)
 
-let all = [ Pre_flush; Post_flush_pre_ack; Mid_snapshot ]
+let all = [ Pre_flush; Post_flush_pre_ack; Mid_snapshot; Post_rename ]
 
 let to_string = function
   | Pre_flush -> "pre-flush"
   | Post_flush_pre_ack -> "post-flush-pre-ack"
   | Mid_snapshot -> "mid-snapshot"
+  | Post_rename -> "post-rename"
 
 let of_string = function
   | "pre-flush" -> Some Pre_flush
   | "post-flush-pre-ack" -> Some Post_flush_pre_ack
   | "mid-snapshot" -> Some Mid_snapshot
+  | "post-rename" -> Some Post_rename
   | _ -> None
 
 exception Crashed of site

@@ -21,12 +21,17 @@ type site =
   | Mid_snapshot
       (** snapshot temp file fully written, atomic rename still
           pending: the new checkpoint must simply not exist afterwards *)
+  | Post_rename
+      (** snapshot renamed into place but the directory entry not yet
+          fsynced: the checkpoint must still be complete and loadable
+          (the rename happened; only its {e machine-crash} durability
+          was pending) *)
 
 val all : site list
 
 val to_string : site -> string
-(** [pre-flush], [post-flush-pre-ack], [mid-snapshot] — the
-    [--crashpoint] flag spellings. *)
+(** [pre-flush], [post-flush-pre-ack], [mid-snapshot], [post-rename] —
+    the [--crashpoint] flag spellings. *)
 
 val of_string : string -> site option
 

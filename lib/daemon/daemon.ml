@@ -473,6 +473,32 @@ let sync t =
   Mutex.unlock t.lock;
   r
 
+let poll_sync t =
+  (* the non-blocking face of [sync], for transports that must not
+     park a thread per waiting client: the socket server parks the
+     *connection* and polls this each event-loop tick *)
+  Mutex.lock t.lock;
+  let r =
+    match t.poisoned with
+    | Some msg -> Some (Error msg)
+    | None ->
+        if Queue.is_empty t.pending && not t.repairing then Some (Ok t.serving.id) else None
+  in
+  Mutex.unlock t.lock;
+  r
+
+let emit_event t fields =
+  match t.events with
+  | None -> ()
+  | Some w ->
+      (* serialized under [lock]: repair/restart events are written by
+         the worker domain with the lock held, so a server-domain event
+         can never interleave bytes with them *)
+      Mutex.lock t.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.lock)
+        (fun () -> Jsonl.Writer.write w (Jsonl.obj fields))
+
 (* ---- query path ------------------------------------------------------- *)
 
 let measure_on ep u v =
@@ -818,6 +844,8 @@ let stats_json t =
         | None -> "null"
         | Some _ -> Jsonl.str (Journal.fsync_to_string t.cfg.fsync) );
       ("journal_bytes", Jsonl.int (match t.journal with Some w -> Journal.bytes w | None -> 0));
+      ( "fsync_failures",
+        Jsonl.int (match t.journal with Some w -> Journal.fsync_failures w | None -> 0) );
       ( "journal_records",
         Jsonl.int (match t.journal with Some w -> Journal.records w | None -> 0) );
       ("snapshots", Jsonl.int t.snapshots);
@@ -840,33 +868,42 @@ let stats_json t =
 
 (* ---- the protocol surface --------------------------------------------- *)
 
-let handle t line =
-  t.lineno <- t.lineno + 1;
-  match Protocol.parse ~lineno:t.lineno line with
-  | Ok None -> []
+let sync_response = function
+  | Ok id -> Printf.sprintf "ok sync epoch=%d backlog=0" id
+  | Error msg -> Printf.sprintf "err sync repair poisoned: %s" msg
+
+(* [handle_line] is the transport-independent dispatch: the line number
+   is the caller's, so every socket connection numbers its own session
+   from 1, and a [quit] is reported back instead of flipping global
+   state — one client quitting must not take down its neighbors. *)
+let handle_line t ~lineno line =
+  match Protocol.parse ~lineno line with
+  | Ok None -> ([], false)
   | Error msg ->
       Counters.incr t.counters "daemon.parse_errors";
-      [ "err " ^ msg ]
+      ([ "err " ^ msg ], false)
   | Ok (Some cmd) -> (
       match cmd with
-      | Protocol.Route (u, v) -> [ handle_query t `Route u v ]
-      | Protocol.Dist (u, v) -> [ handle_query t `Dist u v ]
-      | Protocol.Path (u, v) -> [ handle_path t u v ]
-      | Protocol.Mutate mu -> [ accept_mutation t mu ]
-      | Protocol.Sync -> (
-          match sync t with
-          | Ok id -> [ Printf.sprintf "ok sync epoch=%d backlog=0" id ]
-          | Error msg -> [ Printf.sprintf "err sync repair poisoned: %s" msg ])
-      | Protocol.Stats -> [ "ok stats " ^ stats_json t ]
+      | Protocol.Route (u, v) -> ([ handle_query t `Route u v ], false)
+      | Protocol.Dist (u, v) -> ([ handle_query t `Dist u v ], false)
+      | Protocol.Path (u, v) -> ([ handle_path t u v ], false)
+      | Protocol.Mutate mu -> ([ accept_mutation t mu ], false)
+      | Protocol.Sync -> ([ sync_response (sync t) ], false)
+      | Protocol.Stats -> ([ "ok stats " ^ stats_json t ], false)
       | Protocol.Epoch ->
           let ep, bl = snapshot t in
-          [ Printf.sprintf "ok epoch %d backlog=%d" ep.id bl ]
+          ([ Printf.sprintf "ok epoch %d backlog=%d" ep.id bl ], false)
       | Protocol.Help ->
-          List.map (fun (spell, doc) -> Printf.sprintf "ok help %s -- %s" spell doc)
-            Protocol.grammar
-      | Protocol.Quit ->
-          t.quit <- true;
-          [ "ok bye" ])
+          ( List.map (fun (spell, doc) -> Printf.sprintf "ok help %s -- %s" spell doc)
+              Protocol.grammar,
+            false )
+      | Protocol.Quit -> ([ "ok bye" ], true))
+
+let handle t line =
+  t.lineno <- t.lineno + 1;
+  let responses, quit = handle_line t ~lineno:t.lineno line in
+  if quit then t.quit <- true;
+  responses
 
 let serve_loop t ic oc =
   let rec loop () =

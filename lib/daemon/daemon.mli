@@ -110,6 +110,14 @@ val handle : t -> string -> string list
     input lines internally so parse errors carry the session's 1-based
     line number. *)
 
+val handle_line : t -> lineno:int -> string -> string list * bool
+(** Transport-independent dispatch: like {!handle} but the caller owns
+    the session's line numbering (each socket connection counts its own
+    lines from 1), and a [quit] command is reported as the [true] flag
+    instead of setting {!quitting} — so one connection quitting never
+    affects another.  {!handle} is [handle_line] over an internal
+    counter plus the {!quitting} flip. *)
+
 val quitting : t -> bool
 (** Set once a [quit] command was handled. *)
 
@@ -120,6 +128,24 @@ val serve_loop : t -> in_channel -> out_channel -> unit
 val sync : t -> (int, string) result
 (** Blocks until every queued mutation is repaired; [Ok epoch_id], or
     [Error msg] if the repair worker is poisoned. *)
+
+val poll_sync : t -> (int, string) result option
+(** Non-blocking {!sync}: [Some] of what [sync] would return right now
+    (backlog drained, or poisoned), [None] while repair is still
+    running.  The socket server parks a connection that issued [sync]
+    and polls this each event-loop tick, so one syncing client never
+    stalls the others. *)
+
+val sync_response : (int, string) result -> string
+(** The protocol line for a {!sync}/{!poll_sync} result — shared by
+    {!handle_line} and the socket server so a deferred sync answers
+    byte-identically to a blocking one. *)
+
+val emit_event : t -> (string * string) list -> unit
+(** Write one strict-JSON object to the [events] stream (no-op without
+    one), serialized against the repair worker's own events.  The
+    socket server uses this for connection-lifecycle and drain
+    events. *)
 
 val epoch_id : t -> int
 

@@ -54,6 +54,7 @@ type writer = {
   mutable records : int;  (* seq of the last record written *)
   mutable bytes : int;  (* file offset after the last append *)
   mutable unsynced : int;  (* records since the last fsync (Batch) *)
+  mutable fsync_failures : int;
   mutable closed : bool;
 }
 
@@ -67,7 +68,10 @@ let create ?(fsync = Every) ?(append = false) ?(seq = 0) path =
   let oc = open_out_gen flags 0o644 path in
   let fd = Unix.descr_of_out_channel oc in
   let bytes = if append then (Unix.fstat fd).Unix.st_size else 0 in
-  let w = { path; oc; fd; fsync; records = seq; bytes; unsynced = 0; closed = false } in
+  let w =
+    { path; oc; fd; fsync; records = seq; bytes; unsynced = 0; fsync_failures = 0;
+      closed = false }
+  in
   if not append then begin
     output_string oc (header ^ "\n");
     flush oc;
@@ -81,7 +85,23 @@ let records w = w.records
 
 let bytes w = w.bytes
 
-let do_fsync w = try Unix.fsync w.fd with Unix.Unix_error _ -> ()
+let fsync_hook : (Unix.file_descr -> unit) ref = ref Unix.fsync
+
+let fsync_failures w = w.fsync_failures
+
+let do_fsync w =
+  (* a failed fsync breaks the promise the next [ok] reply makes: the
+     record may not survive a machine crash.  Swallowing it silently
+     (the pre-PR-10 behavior) turned that into an invisible durability
+     hole, so every failure is counted (surfaced in daemon stats) and
+     warned about on stderr.  Serving continues: the record is still in
+     the OS buffer, so process death alone loses nothing. *)
+  try !fsync_hook w.fd
+  with Unix.Unix_error (err, _, _) ->
+    w.fsync_failures <- w.fsync_failures + 1;
+    Printf.eprintf
+      "crt: journal %s: fsync failed: %s (acked mutations may not survive a machine crash)\n%!"
+      w.path (Unix.error_message err)
 
 let append w mu =
   if w.closed then invalid_arg "Journal.append: writer is closed";

@@ -60,6 +60,18 @@ val append : writer -> Cr_graph.Graph.mutation -> unit
 val sync : writer -> unit
 (** Flush and fsync regardless of policy (no-op when closed). *)
 
+val fsync_failures : writer -> int
+(** How many fsyncs have failed on this writer.  A non-zero count means
+    acknowledged mutations may not survive a {e machine} crash (they
+    were still flushed to the OS, so process death alone loses
+    nothing); each failure also warns on stderr, and the daemon
+    surfaces the count in its stats. *)
+
+val fsync_hook : (Unix.file_descr -> unit) ref
+(** The fsync implementation, [Unix.fsync] by default.  Test seam: swap
+    in a raising function to exercise the fsync-failure policy, restore
+    it afterwards. *)
+
 val close : writer -> unit
 (** Flush, fsync (unless the policy is {!fsync.Off}) and close.
     Idempotent. *)

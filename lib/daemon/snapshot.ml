@@ -42,6 +42,23 @@ let list dir =
 
 let default_retain = 4
 
+(* Renaming the temp file makes the checkpoint *atomic*, but not yet
+   *durable*: the rename lives in the directory, and a machine crash
+   before the directory's own metadata reaches disk can make the
+   freshly written snapshot vanish even though [write] returned.
+   Fsyncing the directory fd after the rename closes that hole.  Kept
+   behind a swappable hook so tests can observe the call and inject
+   failures; a directory that cannot be opened or fsynced degrades to
+   the old (rename-only) behavior rather than failing the checkpoint. *)
+let fsync_dir_hook : (string -> unit) ref =
+  ref (fun dir ->
+      match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+      | fd ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ())
+
 let write ?(retain = default_retain) ~dir (snap : Gio.snapshot) =
   ensure_dir dir;
   let final = path dir snap.Gio.epoch in
@@ -58,6 +75,8 @@ let write ?(retain = default_retain) ~dir (snap : Gio.snapshot) =
      raise e);
   Crashpoint.hit Crashpoint.Mid_snapshot;
   Sys.rename tmp final;
+  Crashpoint.hit Crashpoint.Post_rename;
+  !fsync_dir_hook dir;
   (* prune beyond [retain], oldest first; never the one just written *)
   list dir
   |> List.filteri (fun i _ -> i >= retain)

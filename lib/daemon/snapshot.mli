@@ -19,8 +19,19 @@ val default_retain : int
 val write : ?retain:int -> dir:string -> Cr_graph.Gio.snapshot -> string
 (** Atomically persist a checkpoint into [dir] (created if needed) and
     prune all but the newest [retain] (default {!default_retain})
-    snapshots.  Fires {!Crashpoint.site.Mid_snapshot} between the temp
-    write and the rename.  Returns the final path. *)
+    snapshots.  After the rename the containing directory's fd is
+    fsynced (via {!fsync_dir_hook}), so the checkpoint's directory
+    entry itself survives a machine crash — rename alone only makes
+    the write atomic, not durable.  Fires
+    {!Crashpoint.site.Mid_snapshot} between the temp write and the
+    rename and {!Crashpoint.site.Post_rename} between the rename and
+    the directory fsync.  Returns the final path. *)
+
+val fsync_dir_hook : (string -> unit) ref
+(** How {!write} fsyncs the snapshot directory after the rename (opens
+    the directory read-only and fsyncs the fd; open/fsync errors are
+    tolerated).  Test seam: swap in a recording or failing function,
+    restore it afterwards. *)
 
 val load_latest : string -> (string * Cr_graph.Gio.snapshot) option * (string * string) list
 (** Newest snapshot that parses and checksums clean, as

@@ -735,6 +735,75 @@ let test_crash_mid_snapshot () =
   checkb "no snapshot survived" true (info.Daemon.snapshot_epoch = None);
   checki "journal replayed both records" 2 info.Daemon.replayed
 
+let test_crash_post_rename () =
+  (* the checkpoint is renamed into place but the crash lands before the
+     directory entry is fsynced: the snapshot we can see must be
+     complete and loadable, and recovery uses it with an empty suffix *)
+  let acked, info = crashpoint_case Crashpoint.Post_rename ~after:1 ~survives:2 in
+  checki "one mutation acked" 1 acked;
+  checkb "the renamed checkpoint is complete and loadable" true
+    (info.Daemon.snapshot_epoch <> None);
+  checki "nothing to replay" 0 info.Daemon.replayed
+
+let test_snapshot_fsyncs_directory () =
+  (* Sys.rename makes the checkpoint visible, but only an fsync of the
+     containing directory makes the *name* durable — pin that write
+     performs it, on the right directory, after the rename *)
+  let g = mk_graph ~n:24 73 in
+  in_temp_dir (fun dir ->
+      let calls = ref [] in
+      let old = !Snapshot.fsync_dir_hook in
+      Snapshot.fsync_dir_hook :=
+        (fun d ->
+          calls := d :: !calls;
+          old d);
+      Fun.protect
+        ~finally:(fun () -> Snapshot.fsync_dir_hook := old)
+        (fun () ->
+          let p =
+            Snapshot.write ~dir
+              { Gio.epoch = 1; journal_records = 0; journal_offset = 0; graph = g }
+          in
+          checkb "snapshot file in place when the dir is fsynced" true (Sys.file_exists p);
+          checks "fsynced the containing directory exactly once" dir
+            (match !calls with [ d ] -> d | _ -> "wrong-call-count")))
+
+let injected_eio = Unix.Unix_error (Unix.EIO, "fsync", "injected")
+
+let test_journal_fsync_failure_policy () =
+  (* an fsync that starts failing must not crash the writer or stop
+     acks — but it must be counted and surfaced, never swallowed *)
+  let g = mk_graph ~n:24 79 in
+  let mus = script g 79 3 in
+  let old = !Journal.fsync_hook in
+  Fun.protect
+    ~finally:(fun () -> Journal.fsync_hook := old)
+    (fun () ->
+      Journal.fsync_hook := (fun _ -> raise injected_eio);
+      in_temp_dir (fun dir ->
+          let path = Filename.concat dir "j.log" in
+          let w = Journal.create ~fsync:Journal.Every path in
+          List.iter (Journal.append w) mus;
+          checki "every record still appended" (List.length mus) (Journal.records w);
+          checki "every failure counted" (List.length mus) (Journal.fsync_failures w);
+          Journal.close w;
+          (* records were flushed even though fsync failed: in the
+             absence of a machine crash the file replays in full *)
+          let r = Journal.load path in
+          checkb "no truncation" true (r.Journal.truncation = None);
+          checki "appends survived" (List.length mus) r.Journal.read_records;
+          (* the daemon keeps acking and reports the count in stats *)
+          let path2 = Filename.concat dir "j2.log" in
+          let d =
+            Daemon.create ~policy:Guard.Policy.off ~staleness_every:0 ~journal:path2
+              ~params g
+          in
+          let resp = feed1 d (Graph.mutation_to_string (List.hd mus)) in
+          checkb "mutation still acked" true (contains resp "ok mutate");
+          checkb "stats surfaces the failure count" true
+            (contains (Daemon.stats_json d) "\"fsync_failures\":1");
+          Daemon.close d))
+
 let test_daemon_crash_loses_unflushed_recover_matches () =
   (* end-to-end: with fsync off nothing is buffered past [append]'s
      flush, so an abandoned daemon recovers to exactly its live graph,
@@ -862,6 +931,12 @@ let () =
             test_crash_pre_flush;
           Alcotest.test_case "crash post-flush replays the durable unacked record" `Quick
             test_crash_post_flush_pre_ack;
+          Alcotest.test_case "crash post-rename keeps the loadable checkpoint" `Quick
+            test_crash_post_rename;
+          Alcotest.test_case "snapshot fsyncs the containing directory" `Quick
+            test_snapshot_fsyncs_directory;
+          Alcotest.test_case "journal fsync failures are counted, never swallowed" `Quick
+            test_journal_fsync_failure_policy;
           Alcotest.test_case "crash mid-snapshot leaves no checkpoint" `Quick
             test_crash_mid_snapshot;
           Alcotest.test_case "crashed daemon recovers to identical answers" `Slow
